@@ -1,0 +1,79 @@
+// Command lemur-profile runs the NF profiling harness (§3.2) and prints
+// Table 4-style statistics for any registered NF class, or the paper's four
+// example NFs by default.
+//
+//	lemur-profile                 # Table 4's NFs, 500 runs
+//	lemur-profile -nf ACL -runs 100
+//	lemur-profile -fit ACL        # fit the linear rule-count model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"lemur/internal/experiments"
+	"lemur/internal/nf"
+	"lemur/internal/profile"
+)
+
+func main() {
+	var (
+		class = flag.String("nf", "", "profile one NF class (default: Table 4's four)")
+		runs  = flag.Int("runs", 500, "profiling runs")
+		fit   = flag.String("fit", "", "fit the linear size model for a class (ACL or NAT)")
+	)
+	flag.Parse()
+
+	pr := profile.NewProfiler()
+	pr.Runs = *runs
+
+	switch {
+	case *fit != "":
+		key := map[string]string{"ACL": "rules", "NAT": "entries"}[*fit]
+		if key == "" {
+			fatal(fmt.Errorf("no size model for %q (try ACL or NAT)", *fit))
+		}
+		m, err := pr.FitLinear(*fit, key, []int{128, 512, 1024, 2048, 4096}, profile.SameNUMA)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s cycles ≈ %.1f + %.4f x %s\n", *fit, m.Intercept, m.Slope, key)
+		for _, size := range []int{256, 1024, 8192} {
+			fmt.Printf("  predicted @%d: %.0f cycles\n", size, m.Predict(float64(size)))
+		}
+	case *class != "":
+		if _, ok := nf.Registry[*class]; !ok {
+			fatal(fmt.Errorf("unknown NF class %q (known: %v)", *class, nf.Classes()))
+		}
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "NF\tNUMA\tMean\tMin\tMax\t")
+		for _, numa := range []profile.NUMA{profile.SameNUMA, profile.DiffNUMA} {
+			st, err := pr.Profile(*class, nil, numa)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(w, "%s\t%s\t%.0f\t%.0f\t%.0f\t\n", *class, numa, st.Mean, st.Min, st.Max)
+		}
+		w.Flush()
+	default:
+		rows, err := experiments.Table4(*runs)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("Table 4 (%d runs):\n", *runs)
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "NF\tNUMA\tMean\tMin\tMax\t")
+		for _, row := range rows {
+			fmt.Fprintf(w, "%s\t%s\t%.0f\t%.0f\t%.0f\t\n",
+				row.NF, row.NUMA, row.Stats.Mean, row.Stats.Min, row.Stats.Max)
+		}
+		w.Flush()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lemur-profile:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,95 @@
+package lemur_test
+
+import (
+	"fmt"
+	"log"
+
+	"lemur"
+)
+
+// Example shows the whole workflow: declare a chain with an SLO, place it,
+// deploy it on the simulated rack, and push traffic through.
+func Example() {
+	sys := lemur.New(lemur.WithP4Only("IPv4Fwd"))
+	err := sys.LoadSpec(`
+chain border {
+  slo       { tmin = 2Gbps  tmax = 100Gbps }
+  aggregate { src = 10.0.0.0/8  dst = 172.16.0.0/12 }
+  acl0 = ACL(allow_dst = "172.16.0.0/12", rules = 1024)
+  enc0 = Encrypt()
+  fwd0 = IPv4Fwd()
+  acl0 -> enc0 -> fwd0
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pl, err := sys.Place()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("feasible:", pl.Feasible())
+
+	dep, err := sys.Deploy()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := dep.SendPackets(100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("egressed %d/%d\n", rep.Egressed, rep.Injected)
+	// Output:
+	// feasible: true
+	// egressed 100/100
+}
+
+// ExampleSystem_Place demonstrates inspecting an infeasible placement: the
+// Placer reports *why* the SLO cannot be met instead of failing opaquely.
+func ExampleSystem_Place() {
+	sys := lemur.New(lemur.WithP4Only("IPv4Fwd"))
+	err := sys.LoadSpec(`
+chain greedy {
+  slo { tmin = 80Gbps  tmax = 100Gbps }
+  enc0 = Encrypt()
+  fwd0 = IPv4Fwd()
+  enc0 -> fwd0
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pl, err := sys.Place()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("feasible:", pl.Feasible())
+	fmt.Println("has reason:", pl.Reason() != "")
+	// Output:
+	// feasible: false
+	// has reason: true
+}
+
+// ExampleSystem_schemes compares Lemur against a baseline on the same input.
+func ExampleSystem_schemes() {
+	spec := `
+chain c {
+  slo { tmin = 1Gbps  tmax = 100Gbps }
+  ded0 = Dedup()
+  lim0 = Limiter()
+  fwd0 = IPv4Fwd()
+  ded0 -> lim0 -> fwd0
+}`
+	for _, scheme := range []lemur.Scheme{lemur.SchemeLemur, lemur.SchemeSWPreferred} {
+		sys := lemur.New(lemur.WithScheme(scheme), lemur.WithP4Only("IPv4Fwd"))
+		if err := sys.LoadSpec(spec); err != nil {
+			log.Fatal(err)
+		}
+		pl, err := sys.Place()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s feasible: %v\n", scheme, pl.Feasible())
+	}
+	// Output:
+	// Lemur feasible: true
+	// SWPreferred feasible: false
+}

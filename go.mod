@@ -1,0 +1,3 @@
+module lemur
+
+go 1.22

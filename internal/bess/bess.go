@@ -1,0 +1,230 @@
+// Package bess simulates the BESS software dataplane on a commodity server:
+// an NSH demultiplexer pulling from the NIC, run-to-completion NF subgroups
+// pinned to cores, an NSH re-encapsulating multiplexer, and the per-core
+// hierarchical scheduler the meta-compiler programs (§4.2, §A.1).
+//
+// Functionally, ProcessFrame executes real NF code over real frames. For
+// capacity, a subgroup's throughput follows the paper's model: k cores at
+// clock f running a subgroup whose per-packet cost is c yields k·f/c packets
+// per second.
+package bess
+
+import (
+	"errors"
+	"fmt"
+
+	"lemur/internal/bpf"
+	"lemur/internal/hw"
+	"lemur/internal/nf"
+	"lemur/internal/nsh"
+	"lemur/internal/packet"
+)
+
+// CoreShare allocates a fraction of one core to a subgroup; the paper's
+// scheduler round-robins subgroups that share a core.
+type CoreShare struct {
+	Core     int
+	Fraction float64 // (0, 1]
+}
+
+// Branch re-tags packets leaving a subgroup at a branch point. Filtered
+// branches match explicitly; filterless ones split remaining traffic per
+// flow hash in proportion to Weight.
+type Branch struct {
+	Filter *bpf.Filter
+	Weight float64
+	SPI    uint32
+	SI     uint8
+}
+
+// pickBranch mirrors the PISA switch's branch selection.
+func pickBranch(branches []Branch, p *packet.Packet) *Branch {
+	var weightless []*Branch
+	var totalW float64
+	for i := range branches {
+		b := &branches[i]
+		if b.Filter != nil {
+			if b.Filter.Match(p) {
+				return b
+			}
+			continue
+		}
+		weightless = append(weightless, b)
+		totalW += b.Weight
+	}
+	if len(weightless) == 0 {
+		return nil
+	}
+	var u float64
+	if tu, err := p.Tuple(); err == nil {
+		u = float64(tu.Hash()%100000) / 100000
+	}
+	if totalW <= 0 {
+		return weightless[int(u*float64(len(weightless)))%len(weightless)]
+	}
+	acc := 0.0
+	for _, b := range weightless {
+		acc += b.Weight / totalW
+		if u < acc {
+			return b
+		}
+	}
+	return weightless[len(weightless)-1]
+}
+
+// Subgroup is a run-to-completion group of server-placed NFs: one packet
+// batch is fully processed by every NF in the group before the next batch,
+// giving zero-copy transfer, no scheduling overhead, and no cross-core
+// communication (§3.2).
+type Subgroup struct {
+	Name      string
+	NFs       []nf.NF
+	SPI       uint32
+	EntrySI   uint8 // packets tagged (SPI, EntrySI) enter this subgroup
+	AdvanceSI uint8 // SI decrement applied by the mux on exit
+	Branches  []Branch
+
+	// CyclesPerPkt is the profiled per-packet cost of the whole subgroup
+	// including coordination overheads (NSH decap/encap, demux steering).
+	CyclesPerPkt float64
+
+	// CrossSocket marks subgroups scheduled off the NIC's socket; their
+	// effective cost carries the NUMA penalty.
+	CrossSocket bool
+
+	Shares []CoreShare
+
+	// Processed counts packets run through the subgroup.
+	Processed uint64
+}
+
+// TotalCores returns the fractional core allocation.
+func (sg *Subgroup) TotalCores() float64 {
+	total := 0.0
+	for _, s := range sg.Shares {
+		total += s.Fraction
+	}
+	return total
+}
+
+// CapacityPPS is the paper's throughput model: allocated cores × f / c.
+func (sg *Subgroup) CapacityPPS(clockHz, crossSocketPenalty float64) float64 {
+	c := sg.CyclesPerPkt
+	if c <= 0 {
+		return 0
+	}
+	if sg.CrossSocket {
+		c *= crossSocketPenalty
+	}
+	return sg.TotalCores() * clockHz / c
+}
+
+// Pipeline is the per-server dataplane: demux, subgroups, mux.
+type Pipeline struct {
+	Server  *hw.ServerSpec
+	entries map[uint64]*Subgroup
+	groups  []*Subgroup
+}
+
+// NewPipeline builds an empty pipeline for the server.
+func NewPipeline(server *hw.ServerSpec) *Pipeline {
+	return &Pipeline{Server: server, entries: make(map[uint64]*Subgroup)}
+}
+
+func pathKey(spi uint32, si uint8) uint64 { return uint64(spi)<<8 | uint64(si) }
+
+// Pipeline errors.
+var (
+	ErrDuplicatePath = errors.New("bess: duplicate (SPI, SI) subgroup")
+	ErrNoSubgroup    = errors.New("bess: no subgroup for service path")
+	ErrOversubscribe = errors.New("bess: core oversubscribed")
+)
+
+// Add installs a subgroup, validating core indices and share budgets.
+func (pl *Pipeline) Add(sg *Subgroup) error {
+	k := pathKey(sg.SPI, sg.EntrySI)
+	if _, dup := pl.entries[k]; dup {
+		return fmt.Errorf("%w: spi=%d si=%d", ErrDuplicatePath, sg.SPI, sg.EntrySI)
+	}
+	for _, s := range sg.Shares {
+		if s.Core < 0 || s.Core >= pl.Server.TotalCores() {
+			return fmt.Errorf("bess: subgroup %s: core %d out of range (server has %d)",
+				sg.Name, s.Core, pl.Server.TotalCores())
+		}
+		if s.Fraction <= 0 || s.Fraction > 1 {
+			return fmt.Errorf("bess: subgroup %s: share %v out of (0,1]", sg.Name, s.Fraction)
+		}
+	}
+	pl.entries[k] = sg
+	pl.groups = append(pl.groups, sg)
+	if load := pl.CoreLoad(); true {
+		for core, f := range load {
+			if f > 1+1e-9 {
+				// Roll back.
+				delete(pl.entries, k)
+				pl.groups = pl.groups[:len(pl.groups)-1]
+				return fmt.Errorf("%w: core %d at %.2f", ErrOversubscribe, core, f)
+			}
+		}
+	}
+	return nil
+}
+
+// Subgroups returns the installed subgroups in insertion order.
+func (pl *Pipeline) Subgroups() []*Subgroup { return pl.groups }
+
+// SubgroupFor returns the subgroup serving (spi, si), or nil — used by the
+// discrete-time simulator to charge the right queue before processing.
+func (pl *Pipeline) SubgroupFor(spi uint32, si uint8) *Subgroup {
+	return pl.entries[pathKey(spi, si)]
+}
+
+// CoreLoad sums allocated fractions per core.
+func (pl *Pipeline) CoreLoad() map[int]float64 {
+	load := make(map[int]float64)
+	for _, sg := range pl.groups {
+		for _, s := range sg.Shares {
+			load[s.Core] += s.Fraction
+		}
+	}
+	return load
+}
+
+// ProcessFrame is the full server path for one frame arriving from the
+// switch: the shared demux decapsulates NSH and steers by (SPI, SI), the
+// subgroup's NFs run to completion, and the mux re-encapsulates with the
+// advanced (or branch-retagged) service index. The returned frame goes back
+// to the ToR. A nil frame with nil error means the chain dropped the packet.
+func (pl *Pipeline) ProcessFrame(frame []byte, env *nf.Env) ([]byte, error) {
+	inner, spi, si, err := nsh.Decap(frame)
+	if err != nil {
+		return nil, fmt.Errorf("bess: demux: %w", err)
+	}
+	sg, ok := pl.entries[pathKey(spi, si)]
+	if !ok {
+		return nil, fmt.Errorf("%w: spi=%d si=%d", ErrNoSubgroup, spi, si)
+	}
+	var p packet.Packet
+	if err := p.Decode(inner); err != nil {
+		return nil, fmt.Errorf("bess: %w", err)
+	}
+	for _, fn := range sg.NFs {
+		fn.Process(&p, env)
+		if p.Drop {
+			sg.Processed++
+			return nil, nil
+		}
+	}
+	p.SyncHeaders()
+	sg.Processed++
+
+	outSPI, outSI := spi, si-sg.AdvanceSI
+	if si < sg.AdvanceSI {
+		return nil, fmt.Errorf("bess: subgroup %s: SI underflow (si=%d advance=%d)",
+			sg.Name, si, sg.AdvanceSI)
+	}
+	if b := pickBranch(sg.Branches, &p); b != nil {
+		outSPI, outSI = b.SPI, b.SI
+	}
+	return nsh.Encap(p.Data, outSPI, outSI)
+}

@@ -1,0 +1,237 @@
+package bess
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"lemur/internal/bpf"
+	"lemur/internal/hw"
+	"lemur/internal/nf"
+	"lemur/internal/nsh"
+	"lemur/internal/packet"
+)
+
+func server() *hw.ServerSpec { return hw.NewPaperTestbed().Servers[0] }
+
+func frame(dport uint16) []byte {
+	return packet.Builder{
+		Src: packet.IPv4Addr{10, 0, 0, 1}, Dst: packet.IPv4Addr{172, 16, 0, 1},
+		SrcPort: 4000, DstPort: dport, Payload: []byte("payload-bytes!!!"),
+	}.Build()
+}
+
+func encFrame(t *testing.T, spi uint32, si uint8, dport uint16) []byte {
+	t.Helper()
+	out, err := nsh.Encap(frame(dport), spi, si)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func mkSub(t *testing.T, name string, classes ...string) *Subgroup {
+	t.Helper()
+	sg := &Subgroup{Name: name, SPI: 1, EntrySI: 10, AdvanceSI: 2, CyclesPerPkt: 1000,
+		Shares: []CoreShare{{Core: 1, Fraction: 1}}}
+	for i, c := range classes {
+		inst, err := nf.New(c, name+"-"+c+string(rune('0'+i)), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sg.NFs = append(sg.NFs, inst)
+	}
+	return sg
+}
+
+func TestPipelineProcessFrame(t *testing.T) {
+	pl := NewPipeline(server())
+	sg := mkSub(t, "sg0", "Monitor", "IPv4Fwd")
+	if err := pl.Add(sg); err != nil {
+		t.Fatal(err)
+	}
+	out, err := pl.ProcessFrame(encFrame(t, 1, 10, 80), &nf.Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spi, si, err := nsh.Tag(out)
+	if err != nil || spi != 1 || si != 8 {
+		t.Fatalf("out tag = %d/%d, %v (want 1/8)", spi, si, err)
+	}
+	if sg.Processed != 1 {
+		t.Errorf("Processed = %d", sg.Processed)
+	}
+	mon := sg.NFs[0].(*nf.Monitor)
+	if mon.NumFlows() != 1 {
+		t.Errorf("monitor saw %d flows, want 1", mon.NumFlows())
+	}
+}
+
+func TestPipelineDrop(t *testing.T) {
+	pl := NewPipeline(server())
+	sg := mkSub(t, "sg0", "ACL") // default synthetic rules won't match 172.16/12 dst
+	if err := pl.Add(sg); err != nil {
+		t.Fatal(err)
+	}
+	out, err := pl.ProcessFrame(encFrame(t, 1, 10, 80), &nf.Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		t.Error("dropped packet must return nil frame")
+	}
+}
+
+func TestPipelineErrors(t *testing.T) {
+	pl := NewPipeline(server())
+	if _, err := pl.ProcessFrame(frame(80), &nf.Env{}); err == nil {
+		t.Error("untagged frame must fail demux")
+	}
+	if _, err := pl.ProcessFrame(encFrame(t, 5, 5, 80), &nf.Env{}); !errors.Is(err, ErrNoSubgroup) {
+		t.Errorf("unknown path: %v", err)
+	}
+	sg := mkSub(t, "sg0")
+	if err := pl.Add(sg); err != nil {
+		t.Fatal(err)
+	}
+	dup := mkSub(t, "sg1")
+	if err := pl.Add(dup); !errors.Is(err, ErrDuplicatePath) {
+		t.Errorf("dup path: %v", err)
+	}
+	bad := mkSub(t, "sg2")
+	bad.SPI = 2
+	bad.Shares = []CoreShare{{Core: 99, Fraction: 1}}
+	if err := pl.Add(bad); err == nil {
+		t.Error("core out of range must fail")
+	}
+	bad.Shares = []CoreShare{{Core: 1, Fraction: 1.5}}
+	if err := pl.Add(bad); err == nil {
+		t.Error("fraction > 1 must fail")
+	}
+}
+
+func TestCoreOversubscription(t *testing.T) {
+	pl := NewPipeline(server())
+	a := mkSub(t, "a")
+	a.Shares = []CoreShare{{Core: 2, Fraction: 0.7}}
+	if err := pl.Add(a); err != nil {
+		t.Fatal(err)
+	}
+	b := mkSub(t, "b")
+	b.SPI = 2
+	b.Shares = []CoreShare{{Core: 2, Fraction: 0.5}}
+	if err := pl.Add(b); !errors.Is(err, ErrOversubscribe) {
+		t.Errorf("err = %v, want ErrOversubscribe", err)
+	}
+	// Rollback: pipeline still has only subgroup a and path 2/10 is free.
+	if len(pl.Subgroups()) != 1 {
+		t.Errorf("rollback failed: %d subgroups", len(pl.Subgroups()))
+	}
+	b.Shares = []CoreShare{{Core: 2, Fraction: 0.3}}
+	if err := pl.Add(b); err != nil {
+		t.Errorf("exactly-full core should fit: %v", err)
+	}
+	if load := pl.CoreLoad()[2]; math.Abs(load-1.0) > 1e-9 {
+		t.Errorf("core 2 load = %v", load)
+	}
+}
+
+func TestSIUnderflow(t *testing.T) {
+	pl := NewPipeline(server())
+	sg := mkSub(t, "sg0")
+	sg.EntrySI = 1
+	sg.AdvanceSI = 5
+	if err := pl.Add(sg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.ProcessFrame(encFrame(t, 1, 1, 80), &nf.Env{}); err == nil {
+		t.Error("SI underflow must error")
+	}
+}
+
+func TestBranchReTag(t *testing.T) {
+	pl := NewPipeline(server())
+	sg := mkSub(t, "sg0")
+	sg.Branches = []Branch{
+		{Filter: bpf.MustCompile("udp.dport == 53"), SPI: 30, SI: 4},
+		{Filter: nil, SPI: 31, SI: 4},
+	}
+	if err := pl.Add(sg); err != nil {
+		t.Fatal(err)
+	}
+	out, err := pl.ProcessFrame(encFrame(t, 1, 10, 53), &nf.Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spi, si, _ := nsh.Tag(out)
+	if spi != 30 || si != 4 {
+		t.Errorf("branch tag = %d/%d, want 30/4", spi, si)
+	}
+	out2, _ := pl.ProcessFrame(encFrame(t, 1, 10, 80), &nf.Env{})
+	spi2, _, _ := nsh.Tag(out2)
+	if spi2 != 31 {
+		t.Errorf("default branch = %d, want 31", spi2)
+	}
+}
+
+func TestCapacityModel(t *testing.T) {
+	sg := &Subgroup{CyclesPerPkt: 1700, Shares: []CoreShare{{Core: 0, Fraction: 1}, {Core: 1, Fraction: 1}}}
+	// 2 cores * 1.7e9 / 1700 = 2e6 pps.
+	if got := sg.CapacityPPS(1.7e9, 1.06); math.Abs(got-2e6) > 1 {
+		t.Errorf("capacity = %v, want 2e6", got)
+	}
+	sg.CrossSocket = true
+	cross := sg.CapacityPPS(1.7e9, 1.06)
+	if math.Abs(cross-2e6/1.06) > 1 {
+		t.Errorf("cross-socket capacity = %v, want %v", cross, 2e6/1.06)
+	}
+	if (&Subgroup{}).CapacityPPS(1.7e9, 1) != 0 {
+		t.Error("zero-cost subgroup must report zero capacity, not infinity")
+	}
+	half := &Subgroup{CyclesPerPkt: 1700, Shares: []CoreShare{{Core: 0, Fraction: 0.5}}}
+	if got := half.CapacityPPS(1.7e9, 1); math.Abs(got-0.5e6) > 1 {
+		t.Errorf("fractional share capacity = %v", got)
+	}
+}
+
+func TestSchedulerTrees(t *testing.T) {
+	pl := NewPipeline(server())
+	a := mkSub(t, "a")
+	a.Shares = []CoreShare{{Core: 1, Fraction: 0.5}}
+	b := mkSub(t, "b")
+	b.SPI = 2
+	b.Shares = []CoreShare{{Core: 1, Fraction: 0.5}, {Core: 2, Fraction: 1}}
+	if err := pl.Add(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Add(b); err != nil {
+		t.Fatal(err)
+	}
+	scheds := BuildSchedulers(pl, map[string]float64{"b": 1e9})
+	if len(scheds) != 2 {
+		t.Fatalf("schedulers = %d, want 2 (cores 1,2)", len(scheds))
+	}
+	if scheds[0].Core != 1 || scheds[1].Core != 2 {
+		t.Errorf("cores = %d,%d", scheds[0].Core, scheds[1].Core)
+	}
+	// Core 1 round-robins a and b; b is rate-limited.
+	root := scheds[0].Root
+	if root.Kind != RoundRobin || len(root.Children) != 2 {
+		t.Fatalf("core 1 root = %+v", root)
+	}
+	// RR alternation.
+	first := root.NextLeaf().Subgroup.Name
+	second := root.NextLeaf().Subgroup.Name
+	third := root.NextLeaf().Subgroup.Name
+	if first == second || first != third {
+		t.Errorf("rr order: %s %s %s", first, second, third)
+	}
+	// Rendering mentions the rate limit.
+	if s := scheds[0].String(); !strings.Contains(s, "rate_limit") || !strings.Contains(s, "subgroup a") {
+		t.Errorf("render:\n%s", s)
+	}
+	if (&SchedNode{Kind: RoundRobin}).NextLeaf() != nil {
+		t.Error("empty tree must return nil")
+	}
+}

@@ -1,0 +1,117 @@
+package bess
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The paper (§A.1.3) uses BESS's hierarchical scheduler: a per-core tree of
+// logical interior nodes (policies) and physical leaves (subgroup
+// instances). The meta-compiler emits one round-robin root per core over the
+// subgroups sharing it, with rate-limit nodes enforcing t_max.
+
+// NodeKind classifies scheduler tree nodes.
+type NodeKind int
+
+// Scheduler node kinds.
+const (
+	RoundRobin NodeKind = iota
+	RateLimit
+	Leaf
+)
+
+// SchedNode is one node of a per-core scheduler tree.
+type SchedNode struct {
+	Kind     NodeKind
+	RateBps  float64 // RateLimit only
+	Subgroup *Subgroup
+	Children []*SchedNode
+
+	rrNext int // round-robin cursor
+}
+
+// CoreScheduler is the tree for one core.
+type CoreScheduler struct {
+	Core int
+	Root *SchedNode
+}
+
+// BuildSchedulers derives per-core scheduler trees from the pipeline's core
+// shares: each used core gets a round-robin root over the subgroups sharing
+// it; subgroups with a rate cap get a RateLimit interposed.
+// rateCaps maps subgroup name -> bps cap (0/absent = uncapped).
+func BuildSchedulers(pl *Pipeline, rateCaps map[string]float64) []CoreScheduler {
+	byCore := make(map[int][]*Subgroup)
+	for _, sg := range pl.Subgroups() {
+		for _, s := range sg.Shares {
+			byCore[s.Core] = append(byCore[s.Core], sg)
+		}
+	}
+	cores := make([]int, 0, len(byCore))
+	for c := range byCore {
+		cores = append(cores, c)
+	}
+	sort.Ints(cores)
+
+	var out []CoreScheduler
+	for _, c := range cores {
+		root := &SchedNode{Kind: RoundRobin}
+		for _, sg := range byCore[c] {
+			leaf := &SchedNode{Kind: Leaf, Subgroup: sg}
+			if cap, ok := rateCaps[sg.Name]; ok && cap > 0 {
+				root.Children = append(root.Children,
+					&SchedNode{Kind: RateLimit, RateBps: cap, Children: []*SchedNode{leaf}})
+			} else {
+				root.Children = append(root.Children, leaf)
+			}
+		}
+		out = append(out, CoreScheduler{Core: c, Root: root})
+	}
+	return out
+}
+
+// NextLeaf advances the round-robin cursors and returns the next runnable
+// subgroup leaf, or nil for an empty tree.
+func (n *SchedNode) NextLeaf() *SchedNode {
+	switch n.Kind {
+	case Leaf:
+		return n
+	case RateLimit:
+		if len(n.Children) == 0 {
+			return nil
+		}
+		return n.Children[0].NextLeaf()
+	default: // RoundRobin
+		if len(n.Children) == 0 {
+			return nil
+		}
+		child := n.Children[n.rrNext%len(n.Children)]
+		n.rrNext++
+		return child.NextLeaf()
+	}
+}
+
+// String renders the tree in tc-like indentation, matching what the
+// generated BESS script describes.
+func (cs CoreScheduler) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "core %d:\n", cs.Core)
+	var walk func(n *SchedNode, depth int)
+	walk = func(n *SchedNode, depth int) {
+		indent := strings.Repeat("  ", depth+1)
+		switch n.Kind {
+		case RoundRobin:
+			fmt.Fprintf(&b, "%sround_robin\n", indent)
+		case RateLimit:
+			fmt.Fprintf(&b, "%srate_limit %.0f bps\n", indent, n.RateBps)
+		case Leaf:
+			fmt.Fprintf(&b, "%ssubgroup %s\n", indent, n.Subgroup.Name)
+		}
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(cs.Root, 0)
+	return b.String()
+}

@@ -1,0 +1,37 @@
+package bpf
+
+// ExprView is an exported structural view of a compiled filter, consumed by
+// cross-compilers (the SmartNIC eBPF code generator, the P4 rule emitter).
+type ExprView struct {
+	Kind  string // "cmp", "and", "or", "not", "const"
+	Field Field
+	Op    Op
+	Val   uint32
+	Mask  uint32 // OpIn only
+	Bool  bool   // "const" only
+	Kids  []ExprView
+}
+
+// View returns the filter's expression tree.
+func (f *Filter) View() ExprView { return viewNode(&f.root) }
+
+func viewNode(n *node) ExprView {
+	v := ExprView{Field: n.field, Op: n.op, Val: n.val, Mask: n.mask}
+	switch n.kind {
+	case kindCmp:
+		v.Kind = "cmp"
+	case kindAnd:
+		v.Kind = "and"
+	case kindOr:
+		v.Kind = "or"
+	case kindNot:
+		v.Kind = "not"
+	case kindConst:
+		v.Kind = "const"
+		v.Bool = n.val != 0
+	}
+	for i := range n.kids {
+		v.Kids = append(v.Kids, viewNode(&n.kids[i]))
+	}
+	return v
+}

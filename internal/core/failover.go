@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+
+	"lemur/internal/hw"
+)
+
+// Failure handling (§7): Lemur leverages on-path hardware, so when a device
+// fails it must re-place the affected chains on what remains — reactively
+// here; proactive spare-capacity reservation is a policy on top of the same
+// mechanism (see ReserveHeadroom).
+
+// FailServer removes a server from the topology and invalidates any
+// existing placement; the next Place() re-plans reactively on the reduced
+// rack. Failing the last server is rejected (the registry has server-only
+// NFs, so a rack without servers cannot host general chains).
+func (s *System) FailServer(name string) error {
+	idx := -1
+	for i, srv := range s.Topo.Servers {
+		if srv.Name == name {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("%w: server %q", hw.ErrNotFound, name)
+	}
+	if len(s.Topo.Servers) == 1 {
+		return fmt.Errorf("core: cannot fail the last server %q", name)
+	}
+	s.Topo.Servers = append(s.Topo.Servers[:idx], s.Topo.Servers[idx+1:]...)
+	// SmartNICs hosted by the failed server go with it.
+	kept := s.Topo.SmartNICs[:0]
+	for _, nic := range s.Topo.SmartNICs {
+		if nic.HostServer != name {
+			kept = append(kept, nic)
+		}
+	}
+	s.Topo.SmartNICs = kept
+	s.result, s.deployment = nil, nil
+	return nil
+}
+
+// FailSmartNIC removes a SmartNIC; its NFs fall back to servers on the next
+// Place() (§7: "Lemur can always fall back to using server-based NFs").
+func (s *System) FailSmartNIC(name string) error {
+	idx := -1
+	for i, nic := range s.Topo.SmartNICs {
+		if nic.Name == name {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("%w: smartnic %q", hw.ErrNotFound, name)
+	}
+	s.Topo.SmartNICs = append(s.Topo.SmartNICs[:idx], s.Topo.SmartNICs[idx+1:]...)
+	s.result, s.deployment = nil, nil
+	return nil
+}
+
+// ReserveHeadroom implements proactive failover provisioning: it hides n
+// worker cores per server from the Placer so a re-plan after a failure has
+// guaranteed room. Returns an error if any server would be left without
+// workers.
+func (s *System) ReserveHeadroom(coresPerServer int) error {
+	if coresPerServer < 0 {
+		return fmt.Errorf("core: negative headroom %d", coresPerServer)
+	}
+	for _, srv := range s.Topo.Servers {
+		if srv.WorkerCores()-coresPerServer <= 0 {
+			return fmt.Errorf("core: headroom %d leaves server %q without workers", coresPerServer, srv.Name)
+		}
+	}
+	for _, srv := range s.Topo.Servers {
+		srv.ReservedCores += coresPerServer
+	}
+	s.result, s.deployment = nil, nil
+	return nil
+}

@@ -1,0 +1,487 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"lemur/internal/hw"
+	"lemur/internal/metacompiler"
+	"lemur/internal/nf"
+	"lemur/internal/placer"
+	"lemur/internal/profile"
+	"lemur/internal/runtime"
+)
+
+// Figure2f runs the component ablations on the four-chain set: full Lemur
+// vs No-Profiling vs No-Core-Allocation.
+func (r *Runner) Figure2f(deltas []float64) ([]DeltaRow, error) {
+	schemes := []placer.Scheme{placer.SchemeLemur, placer.SchemeNoProfiling, placer.SchemeNoCoreAlloc}
+	return r.Figure2Panel([]int{1, 2, 3, 4}, deltas, schemes)
+}
+
+// Figure3aResult compares chains {1,2,3} on one vs two 8-core servers.
+type Figure3aResult struct {
+	Delta              float64
+	SingleFeasible     bool
+	SingleReason       string
+	SingleAggregate    float64
+	TwoServerFeasible  bool
+	TwoServerAggregate float64
+}
+
+// Figure3a reproduces the multi-server experiment (§5.3): at δ=0.5 a single
+// 8-core server yields less than half the two-server aggregate; at δ=1.5
+// the single-server case is infeasible (the Dedup→ACL→Limiter subgroup can
+// no longer share one core, and splitting it exhausts the cores).
+func Figure3a(deltas []float64, seed int64) ([]Figure3aResult, error) {
+	var out []Figure3aResult
+	for _, d := range deltas {
+		row := Figure3aResult{Delta: d}
+
+		single := NewRunner(hw.NewPaperTestbed(hw.WithSingleSocket()))
+		single.Seed = seed
+		sr, _, err := single.RunSet([]int{1, 2, 3}, d, placer.SchemeLemur)
+		if err != nil {
+			return nil, err
+		}
+		row.SingleFeasible = sr.Feasible
+		row.SingleReason = sr.Reason
+		row.SingleAggregate = sr.MeasuredAggregate
+
+		double := NewRunner(hw.NewPaperTestbed(hw.WithServers(2), hw.WithSingleSocket()))
+		double.Seed = seed
+		dr, _, err := double.RunSet([]int{1, 2, 3}, d, placer.SchemeLemur)
+		if err != nil {
+			return nil, err
+		}
+		row.TwoServerFeasible = dr.Feasible
+		row.TwoServerAggregate = dr.MeasuredAggregate
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Figure3bResult compares chain 5 with and without the SmartNIC.
+type Figure3bResult struct {
+	Delta              float64
+	ServerOnlyFeasible bool
+	ServerOnlyAgg      float64
+	WithNICFeasible    bool
+	WithNICAgg         float64
+	NICUsed            bool
+}
+
+// Figure3b reproduces the SmartNIC experiment (§5.3): offloading ChaCha to
+// the eBPF NIC lifts chain 5 toward the 40G line rate, and at δ=1.5 no
+// server-only solution exists because t_min exceeds what one (non-
+// replicable) ChaCha core can do.
+func Figure3b(deltas []float64, seed int64) ([]Figure3bResult, error) {
+	var out []Figure3bResult
+	for _, d := range deltas {
+		row := Figure3bResult{Delta: d}
+
+		serverOnly := NewRunner(hw.NewPaperTestbed())
+		serverOnly.Seed = seed
+		sr, _, err := serverOnly.RunSet([]int{5}, d, placer.SchemeLemur)
+		if err != nil {
+			return nil, err
+		}
+		row.ServerOnlyFeasible = sr.Feasible
+		row.ServerOnlyAgg = sr.MeasuredAggregate
+
+		withNIC := NewRunner(hw.NewPaperTestbed(hw.WithSmartNIC()))
+		withNIC.Seed = seed
+		in, _, err := withNIC.input([]int{5}, d)
+		if err != nil {
+			return nil, err
+		}
+		res, err := placer.Place(placer.SchemeLemur, in)
+		if err != nil {
+			return nil, err
+		}
+		row.WithNICFeasible = res.Feasible
+		if res.Feasible {
+			row.NICUsed = len(res.NICUses) > 0
+			dpl, err := metacompiler.Compile(in, res)
+			if err != nil {
+				return nil, err
+			}
+			m, err := MeasureAchieved(runtime.New(dpl, seed), in, res)
+			if err != nil {
+				return nil, err
+			}
+			row.WithNICAgg = m.Aggregate
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Figure3cResult compares ACL placement on an OpenFlow switch vs stitched
+// through a commodity server (§5.3).
+type Figure3cResult struct {
+	OFRateBps     float64
+	ServerRateBps float64
+	Speedup       float64
+}
+
+// Figure3c models the OpenFlow experiment: a large ACL either runs on the
+// OpenFlow switch (line-rate, bounded by its 10G port and the VLAN-vid
+// steering overhead) or on one server core. The paper reports 7710 vs 693
+// Mbps; the shape to reproduce is the ~10x gap.
+func Figure3c() Figure3cResult {
+	topo := hw.NewPaperTestbed(hw.WithOpenFlowSwitch())
+	db := profile.DefaultDB()
+	const rules = 8192
+	cycles := db.WorstCycles("ACL", nf.Params{"rules": rules}) * topo.CrossSocketPenalty
+
+	// Server path: one core runs the ACL; add coordination overheads.
+	serverPPS := topo.Servers[0].ClockHz / (cycles + topo.EncapCycles + topo.DemuxCycles)
+	serverRate := serverPPS * placer.DefaultFrameBits
+
+	// OpenFlow path: the switch matches in hardware at port rate; the VLAN
+	// steering encoding costs the 4-byte tag per frame.
+	ofRate := topo.OFSwitch.PortCapacityBps * (1500.0 / 1530.0) * (1526.0 / 1530.0)
+
+	return Figure3cResult{
+		OFRateBps:     ofRate,
+		ServerRateBps: serverRate,
+		Speedup:       ofRate / serverRate,
+	}
+}
+
+// ExtremeConfigResult captures the §5.2 stage-constraint study.
+type ExtremeConfigResult struct {
+	Scheme       placer.Scheme
+	Feasible     bool
+	Reason       string
+	Stages       int
+	NATsOnSwitch int
+	NATsOnServer int
+}
+
+// ExtremeChainSpec is the §5.2 variant of chain 2 without encryption:
+// BPF -> 11x NAT (branched) -> IPv4Fwd.
+func ExtremeChainSpec(tminBps float64) string {
+	s := fmt.Sprintf(`
+chain extreme {
+  slo { tmin = %.0f  tmax = 100000000000 }
+  aggregate { src = 10.9.0.0/16 }
+  bpf0 = BPF()
+  fwd0 = IPv4Fwd()
+`, tminBps)
+	for i := 1; i <= 11; i++ {
+		s += fmt.Sprintf("  nat%d = NAT()\n", i)
+	}
+	for i := 1; i <= 11; i++ {
+		s += fmt.Sprintf("  bpf0 -> nat%d -> fwd0\n", i)
+	}
+	return s + "}\n"
+}
+
+// ExtremeConfig runs the 11-NAT chain across schemes. Expected shape:
+// Lemur fits by moving exactly one NAT to the server (10 on-switch, 12
+// stages); HW-Preferred and Minimum-Bounce overflow the pipeline; SW-
+// Preferred cannot meet the SLO in software.
+func ExtremeConfig(schemes []placer.Scheme) ([]ExtremeConfigResult, error) {
+	topo := hw.NewPaperTestbed()
+	db := profile.DefaultDB()
+	// δ=0.5 of the chain's ~44.9 Gbps NAT base rate.
+	natCycles := db.WorstCycles("NAT", nil) * topo.CrossSocketPenalty
+	base := topo.Servers[0].ClockHz / natCycles * placer.DefaultFrameBits / (1.0 / 11)
+	_ = base
+	// The paper quotes t_min ≈ 44.9 Gbps/2 directly from one NAT core's
+	// full-chain rate; our NIC caps a server bounce at 40G, so use the same
+	// δ-scaled arithmetic on the unweighted NAT rate.
+	tmin := 0.5 * topo.Servers[0].ClockHz / natCycles * placer.DefaultFrameBits
+
+	chains, err := BuildChainsFromSpec(ExtremeChainSpec(tmin))
+	if err != nil {
+		return nil, err
+	}
+	var out []ExtremeConfigResult
+	for _, scheme := range schemes {
+		in := &placer.Input{Chains: chains, Topo: topo, DB: db, Restrict: EvalRestrict}
+		res, err := placer.Place(scheme, in)
+		if err != nil {
+			return nil, err
+		}
+		row := ExtremeConfigResult{Scheme: scheme, Feasible: res.Feasible, Reason: res.Reason, Stages: res.Stages}
+		for n, a := range res.Assign {
+			if n.Class() != "NAT" {
+				continue
+			}
+			switch a.Platform {
+			case hw.PISA:
+				row.NATsOnSwitch++
+			case hw.Server:
+				row.NATsOnServer++
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// SensitivityResult is one profiling-error point of the §5.2 study.
+type SensitivityResult struct {
+	ErrorFraction float64 // profiled costs scaled by (1 - this)
+	Feasible      bool
+	Marginal      float64
+	SameAsBase    bool
+}
+
+// Sensitivity re-runs the four-chain placement with under-estimated
+// profiles (1%..10%) and re-evaluates the decisions against true costs. The
+// paper finds marginal throughput unchanged up to 8% error.
+func (r *Runner) Sensitivity(delta float64, errs []float64) ([]SensitivityResult, float64, error) {
+	in, _, err := r.input([]int{1, 2, 3, 4}, delta)
+	if err != nil {
+		return nil, 0, err
+	}
+	baseRes, err := placer.Place(placer.SchemeLemur, in)
+	if err != nil {
+		return nil, 0, err
+	}
+	if !baseRes.Feasible {
+		return nil, 0, fmt.Errorf("experiments: baseline infeasible: %s", baseRes.Reason)
+	}
+	var out []SensitivityResult
+	for _, e := range errs {
+		blind := *in
+		blind.DB = in.DB.Scaled(1 - e)
+		decided, err := placer.Place(placer.SchemeLemur, &blind)
+		if err != nil {
+			return nil, 0, err
+		}
+		row := SensitivityResult{ErrorFraction: e}
+		if decided.Feasible {
+			evaluated := placer.ReEvaluate(in, decided)
+			row.Feasible = evaluated.Feasible
+			row.Marginal = evaluated.Marginal
+			row.SameAsBase = evaluated.Feasible &&
+				evaluated.Marginal >= baseRes.Marginal*0.999
+		}
+		out = append(out, row)
+	}
+	return out, baseRes.Marginal, nil
+}
+
+// LatencyResult is one d_max point of the §5.3 latency study on chains
+// {1, 4}.
+type LatencyResult struct {
+	DMaxSec   float64
+	Feasible  bool
+	Aggregate float64
+	Bounces   int
+}
+
+// Latency reproduces the latency-SLO experiment: a 45µs budget admits the
+// bouncy high-throughput placement; a tighter budget forces fewer bounces
+// and lower throughput.
+func Latency(dmaxes []float64, seed int64) ([]LatencyResult, error) {
+	return LatencyAt(dmaxes, 1.0, seed)
+}
+
+// LatencyAt runs the latency study at a chosen δ (core scarcity makes the
+// bounce/throughput tradeoff bind).
+func LatencyAt(dmaxes []float64, delta float64, seed int64) ([]LatencyResult, error) {
+	var out []LatencyResult
+	for _, dmax := range dmaxes {
+		r := NewRunner(hw.NewPaperTestbed())
+		r.Seed = seed
+		r.DMaxSec = dmax
+		in, _, err := r.input([]int{1, 3}, delta)
+		if err != nil {
+			return nil, err
+		}
+		res, err := placer.Place(placer.SchemeLemur, in)
+		if err != nil {
+			return nil, err
+		}
+		row := LatencyResult{DMaxSec: dmax, Feasible: res.Feasible}
+		if res.Feasible {
+			d, err := metacompiler.Compile(in, res)
+			if err != nil {
+				return nil, err
+			}
+			m, err := MeasureAchieved(runtime.New(d, seed), in, res)
+			if err != nil {
+				return nil, err
+			}
+			row.Aggregate = m.Aggregate
+			for _, g := range in.Chains {
+				row.Bounces += placer.Bounces(g, res.Assign)
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Table4Row is one profiled NF of Table 4.
+type Table4Row struct {
+	NF    string
+	NUMA  profile.NUMA
+	Stats profile.Stats
+}
+
+// Table4 profiles the paper's four example NFs at both NUMA placements.
+// runs=500 matches the paper; tests use fewer.
+func Table4(runs int) ([]Table4Row, error) {
+	pr := profile.NewProfiler()
+	if runs > 0 {
+		pr.Runs = runs
+	}
+	type spec struct {
+		class  string
+		params nf.Params
+	}
+	specs := []spec{
+		{"Encrypt", nil},
+		{"Dedup", nil},
+		{"ACL", nf.Params{"rules": 1024}},
+		{"NAT", nf.Params{"entries": 12000}},
+	}
+	var out []Table4Row
+	for _, s := range specs {
+		for _, numa := range []profile.NUMA{profile.SameNUMA, profile.DiffNUMA} {
+			st, err := pr.Profile(s.class, s.params, numa)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Table4Row{NF: s.class, NUMA: numa, Stats: st})
+		}
+	}
+	return out, nil
+}
+
+// ScalingResult compares placement computation time (§5.3: brute force
+// 14901s vs heuristic 3.5s on hardware; the shape to reproduce is the
+// orders-of-magnitude gap).
+type ScalingResult struct {
+	Heuristic  time.Duration
+	BruteForce time.Duration
+	SpeedupX   float64
+	SameResult bool // heuristic matched brute force's marginal
+}
+
+// PlacerScaling times both placement algorithms on the four-chain set.
+func (r *Runner) PlacerScaling(delta float64, bruteBudget int) (*ScalingResult, error) {
+	in, _, err := r.input([]int{1, 2, 3, 4}, delta)
+	if err != nil {
+		return nil, err
+	}
+	in.BruteForceBudget = bruteBudget
+	heur, err := placer.Place(placer.SchemeLemur, in)
+	if err != nil {
+		return nil, err
+	}
+	brute, err := placer.Place(placer.SchemeOptimal, in)
+	if err != nil {
+		return nil, err
+	}
+	out := &ScalingResult{Heuristic: heur.PlaceTime, BruteForce: brute.PlaceTime}
+	if heur.PlaceTime > 0 {
+		out.SpeedupX = float64(brute.PlaceTime) / float64(heur.PlaceTime)
+	}
+	out.SameResult = heur.Feasible == brute.Feasible &&
+		(!heur.Feasible || heur.Marginal >= brute.Marginal*0.99)
+	return out, nil
+}
+
+// LoCResult is the §5.3 meta-compiler accounting for the four-chain set.
+type LoCResult struct {
+	P4Total     int
+	P4Steering  int
+	Handwritten int
+	BESS        int
+	AutoShare   float64
+}
+
+// MetaCompilerLoC compiles the four-chain Lemur placement and reports the
+// auto-generated code share (paper: >1/3 of the P4, ~600 steering lines).
+func (r *Runner) MetaCompilerLoC(delta float64) (*LoCResult, error) {
+	in, _, err := r.input([]int{1, 2, 3, 4}, delta)
+	if err != nil {
+		return nil, err
+	}
+	res, err := placer.Place(placer.SchemeLemur, in)
+	if err != nil {
+		return nil, err
+	}
+	if !res.Feasible {
+		return nil, fmt.Errorf("experiments: infeasible at δ=%v: %s", delta, res.Reason)
+	}
+	d, err := metacompiler.Compile(in, res)
+	if err != nil {
+		return nil, err
+	}
+	a := d.Artifacts
+	return &LoCResult{
+		P4Total:     a.P4TotalLines,
+		P4Steering:  a.P4SteeringLines,
+		Handwritten: a.HandwrittenP4Lines,
+		BESS:        a.BESSLines,
+		AutoShare:   a.AutoGeneratedShare(),
+	}, nil
+}
+
+// FeasibilityCell is one (combo, δ, scheme) feasibility record.
+type FeasibilityCell struct {
+	Combo    []int
+	Delta    float64
+	Scheme   placer.Scheme
+	Feasible bool
+}
+
+// FeasibilitySummary sweeps all Figure 2 sets across schemes
+// (placement-only, no measurement) and reports two shares per scheme: over
+// all sets, and over *solvable* sets (those where at least one scheme found
+// a solution) — the paper's "Lemur 100%, others 17-76%" is over sets that
+// admit solutions; at high δ the rack genuinely cannot carry Σt_min and
+// every scheme fails.
+func (r *Runner) FeasibilitySummary(deltas []float64, schemes []placer.Scheme) ([]FeasibilityCell, map[placer.Scheme]float64, map[placer.Scheme]float64, error) {
+	r2 := *r
+	r2.SkipMeasure = true
+	var cells []FeasibilityCell
+	count := map[placer.Scheme]int{}
+	solvCount := map[placer.Scheme]int{}
+	total, solvable := 0, 0
+	for _, combo := range Figure2Combos() {
+		for _, d := range deltas {
+			total++
+			setFeasible := map[placer.Scheme]bool{}
+			any := false
+			for _, s := range schemes {
+				sr, _, err := r2.RunSet(combo, d, s)
+				if err != nil {
+					return nil, nil, nil, err
+				}
+				cells = append(cells, FeasibilityCell{Combo: combo, Delta: d, Scheme: s, Feasible: sr.Feasible})
+				setFeasible[s] = sr.Feasible
+				if sr.Feasible {
+					count[s]++
+					any = true
+				}
+			}
+			if any {
+				solvable++
+				for s, ok := range setFeasible {
+					if ok {
+						solvCount[s]++
+					}
+				}
+			}
+		}
+	}
+	share := map[placer.Scheme]float64{}
+	solvShare := map[placer.Scheme]float64{}
+	for _, s := range schemes {
+		share[s] = float64(count[s]) / float64(total)
+		if solvable > 0 {
+			solvShare[s] = float64(solvCount[s]) / float64(solvable)
+		}
+	}
+	return cells, share, solvShare, nil
+}

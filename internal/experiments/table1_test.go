@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"lemur/internal/nfspec"
+)
+
+// TestSLOUseCases encodes the paper's Table 1: each operator use case maps
+// onto the (t_min, t_max) vocabulary of the spec language.
+func TestSLOUseCases(t *testing.T) {
+	const alpha, beta = 2e9, 8e9
+	cases := []struct {
+		name     string
+		slo      string
+		wantTMin float64
+		wantTMax float64 // math.Inf(1) means unbounded
+	}{
+		{"bulk", "", 0, math.Inf(1)},                                         // best effort
+		{"metered-bulk", "slo { tmax = 2Gbps }", 0, alpha},                   // capped at α
+		{"virtual-pipe", "slo { tmin = 2Gbps  tmax = 2Gbps }", alpha, alpha}, // exactly α
+		{"elastic-pipe", "slo { tmin = 2Gbps  tmax = 8Gbps }", alpha, beta},  // α..β
+		{"infinite-pipe", "slo { tmin = 2Gbps }", alpha, math.Inf(1)},        // at least α
+	}
+	for _, tc := range cases {
+		src := fmt.Sprintf("chain c {\n  %s\n  a = ACL()\n}", tc.slo)
+		chains, err := nfspec.Parse(src)
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		slo := chains[0].SLO
+		if slo.TMinBps != tc.wantTMin {
+			t.Errorf("%s: tmin = %v, want %v", tc.name, slo.TMinBps, tc.wantTMin)
+		}
+		if math.IsInf(tc.wantTMax, 1) {
+			if slo.TMaxBps < 1e300 {
+				t.Errorf("%s: tmax = %v, want unbounded", tc.name, slo.TMaxBps)
+			}
+		} else if slo.TMaxBps != tc.wantTMax {
+			t.Errorf("%s: tmax = %v, want %v", tc.name, slo.TMaxBps, tc.wantTMax)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package lp
+
+import "math"
+
+// SolveMILP solves the problem with integrality required on the variables
+// whose integer[i] is true, via LP-relaxation branch and bound (best-first
+// on a simple stack). It reproduces the paper's MILP placement formulation
+// path: integer variables model per-subgroup core counts.
+//
+// maxNodes bounds the search; 0 means a generous default.
+func SolveMILP(p Problem, integer []bool, maxNodes int) (Solution, error) {
+	if maxNodes <= 0 {
+		maxNodes = 100000
+	}
+	if len(integer) != len(p.C) {
+		return Solution{}, ErrInfeasible
+	}
+	type node struct {
+		extraA [][]float64
+		extraB []float64
+	}
+	best := Solution{Value: math.Inf(-1)}
+	found := false
+	stack := []node{{}}
+	nodes := 0
+
+	for len(stack) > 0 && nodes < maxNodes {
+		nodes++
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		sub := Problem{C: p.C, A: append(append([][]float64{}, p.A...), nd.extraA...),
+			B: append(append([]float64{}, p.B...), nd.extraB...)}
+		sol, err := Solve(sub)
+		if err != nil {
+			continue // infeasible or unbounded branch: prune
+		}
+		if found && sol.Value <= best.Value+eps {
+			continue // bound
+		}
+		// Find most-fractional integer variable.
+		branch, frac := -1, 0.0
+		for i, isInt := range integer {
+			if !isInt {
+				continue
+			}
+			f := sol.X[i] - math.Floor(sol.X[i])
+			if f > eps && f < 1-eps {
+				d := math.Abs(f - 0.5)
+				if branch == -1 || d < frac {
+					branch, frac = i, d
+				}
+			}
+		}
+		if branch == -1 {
+			// Integral: candidate incumbent.
+			if !found || sol.Value > best.Value {
+				best, found = sol, true
+			}
+			continue
+		}
+		floor := math.Floor(sol.X[branch])
+		n := len(p.C)
+		// x_branch <= floor
+		le := make([]float64, n)
+		le[branch] = 1
+		// x_branch >= floor+1  =>  -x_branch <= -(floor+1)
+		ge := make([]float64, n)
+		ge[branch] = -1
+		stack = append(stack,
+			node{extraA: append(append([][]float64{}, nd.extraA...), le), extraB: append(append([]float64{}, nd.extraB...), floor)},
+			node{extraA: append(append([][]float64{}, nd.extraA...), ge), extraB: append(append([]float64{}, nd.extraB...), -(floor + 1))},
+		)
+	}
+	if !found {
+		return Solution{}, ErrInfeasible
+	}
+	// Snap near-integral values.
+	for i, isInt := range integer {
+		if isInt {
+			best.X[i] = math.Round(best.X[i])
+		}
+	}
+	return best, nil
+}

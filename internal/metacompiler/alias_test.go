@@ -1,0 +1,117 @@
+package metacompiler
+
+import (
+	"testing"
+
+	"lemur/internal/hw"
+	"lemur/internal/placer"
+)
+
+// TestMergeSuffixAliases: a merge node placed on the server is reachable
+// under every sibling path's SPI. The meta-compiler must install one bess
+// subgroup per SPI sharing the same NF instances and placer subgroup, with
+// the core shares claimed exactly once.
+func TestMergeSuffixAliases(t *testing.T) {
+	src := `
+chain m {
+  slo { tmin = 1Gbps  tmax = 100Gbps }
+  aggregate { src = 10.0.0.0/8 }
+  bpf0 = BPF()
+  enc0 = Encrypt()
+  dec0 = Decrypt()
+  mon0 = Monitor()
+  fwd0 = IPv4Fwd()
+  bpf0 -> [weight = 0.5] enc0
+  bpf0 -> [weight = 0.5] dec0
+  enc0 -> mon0
+  dec0 -> mon0
+  mon0 -> fwd0
+}`
+	in, d := compileSpec(t, hw.NewPaperTestbed(), src)
+	_ = in
+
+	paths := d.ChainPaths[0]
+	if len(paths) != 2 {
+		t.Fatalf("paths = %d", len(paths))
+	}
+
+	// mon0 appears in a subgroup under each path's SPI.
+	var monSubs []string
+	shares := 0
+	var monPsg *placer.Subgroup
+	for _, pl := range d.Pipelines {
+		for _, sg := range pl.Subgroups() {
+			for _, fn := range sg.NFs {
+				if fn.Class() == "Monitor" {
+					monSubs = append(monSubs, sg.Name)
+					if len(sg.Shares) > 0 {
+						shares++
+					}
+					if psg := d.SubgroupOf[sg]; psg != nil {
+						if monPsg != nil && monPsg != psg {
+							t.Error("monitor aliases map to different placer subgroups")
+						}
+						monPsg = psg
+					}
+				}
+			}
+		}
+	}
+	if len(monSubs) != 2 {
+		t.Fatalf("monitor installed under %d SPIs, want 2 (%v)", len(monSubs), monSubs)
+	}
+	if shares != 1 {
+		t.Errorf("core shares claimed by %d subgroups, want exactly 1", shares)
+	}
+	if monPsg == nil {
+		t.Error("no placer-subgroup mapping for the merge suffix")
+	}
+
+	// The shared NF instance means state is shared: both aliases reference
+	// the same nf.NF pointer.
+	var ptrs []any
+	for _, pl := range d.Pipelines {
+		for _, sg := range pl.Subgroups() {
+			for _, fn := range sg.NFs {
+				if fn.Class() == "Monitor" {
+					ptrs = append(ptrs, fn)
+				}
+			}
+		}
+	}
+	if len(ptrs) == 2 && ptrs[0] != ptrs[1] {
+		t.Error("merge-suffix aliases instantiate separate Monitor state")
+	}
+}
+
+// TestBranchOnNICRejected: a branch node assigned to the SmartNIC is not
+// compilable (the NIC runtime has no retag support).
+func TestBranchOnNICRejected(t *testing.T) {
+	src := `
+chain b {
+  slo { tmin = 1Gbps  tmax = 100Gbps }
+  aggregate { src = 10.0.0.0/8 }
+  lb0  = LB()
+  enc0 = Encrypt()
+  dec0 = Decrypt()
+  fwd0 = IPv4Fwd()
+  lb0 -> [weight = 0.5] enc0
+  lb0 -> [weight = 0.5] dec0
+  enc0 -> fwd0
+  dec0 -> fwd0
+}`
+	in, d := compileSpec(t, hw.NewPaperTestbed(hw.WithSmartNIC()), src)
+	_ = d // Lemur never picks a NIC branch here, so force one:
+	res, err := placer.Place(placer.SchemeLemur, in)
+	if err != nil || !res.Feasible {
+		t.Fatalf("placement: %v", err)
+	}
+	for n := range res.Assign {
+		if n.Class() == "LB" {
+			res.Assign[n] = placer.Assign{Platform: hw.SmartNIC, Device: "agilio-cx-40"}
+		}
+	}
+	if _, err := Compile(in, res); err == nil {
+		t.Error("branch node on the SmartNIC must be rejected")
+	}
+}

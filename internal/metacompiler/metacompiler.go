@@ -1,0 +1,392 @@
+// Package metacompiler implements Lemur's meta-compiler (§4): given a chain
+// specification and the Placer's placement, it synthesizes everything needed
+// to execute the chains across platforms — NSH service-path routing (SPI/SI
+// assignment, encap/decap, branch retagging), the unified P4 program for the
+// ToR switch, BESS pipeline scripts and scheduler configuration for each
+// server, and verified eBPF programs for SmartNIC offloads. The output is a
+// Deployment that internal/runtime can execute, plus the generated code
+// artifacts with auto-generated-LoC accounting (§5.3).
+package metacompiler
+
+import (
+	"fmt"
+
+	"lemur/internal/bess"
+	"lemur/internal/bpf"
+	"lemur/internal/hw"
+	"lemur/internal/nf"
+	"lemur/internal/nfgraph"
+	"lemur/internal/pisa"
+	"lemur/internal/placer"
+	"lemur/internal/smartnic"
+)
+
+// Deployment is a fully-stitched cross-platform NF chain installation.
+type Deployment struct {
+	Input  *placer.Input
+	Result *placer.Result
+
+	Switch    *pisa.Switch
+	Pipelines map[string]*bess.Pipeline // per server
+	NICs      map[string]*smartnic.NIC
+
+	// ChainPaths holds per-chain service paths (SPI assignment).
+	ChainPaths [][]*ServicePath
+
+	// SubgroupOf maps a bess subgroup back to its placer subgroup (capacity
+	// and core data). Aliased entries (merge suffixes reached under several
+	// SPIs) map to the same placer subgroup.
+	SubgroupOf map[*bess.Subgroup]*placer.Subgroup
+
+	// Shares records the concrete core shares assigned to each placer
+	// subgroup; the runtime uses it to derive actual NUMA placement.
+	Shares map[*placer.Subgroup][]bess.CoreShare
+
+	claimed map[*placer.Subgroup]bool // placer subgroups whose shares were installed
+
+	// Artifacts are the generated code texts and line counts.
+	Artifacts *Artifacts
+}
+
+// Compile builds a Deployment from a feasible placement.
+func Compile(in *placer.Input, res *placer.Result) (*Deployment, error) {
+	if !res.Feasible {
+		return nil, fmt.Errorf("metacompiler: placement is infeasible: %s", res.Reason)
+	}
+	d := &Deployment{
+		Input:      in,
+		Result:     res,
+		Switch:     pisa.NewSwitch(in.Topo.Switch),
+		Pipelines:  make(map[string]*bess.Pipeline),
+		NICs:       make(map[string]*smartnic.NIC),
+		SubgroupOf: make(map[*bess.Subgroup]*placer.Subgroup),
+		claimed:    make(map[*placer.Subgroup]bool),
+	}
+	for _, s := range in.Topo.Servers {
+		d.Pipelines[s.Name] = bess.NewPipeline(s)
+	}
+	for _, n := range in.Topo.SmartNICs {
+		d.NICs[n.Name] = smartnic.NewNIC(n)
+	}
+
+	paths, err := buildServicePaths(in)
+	if err != nil {
+		return nil, err
+	}
+	d.ChainPaths = paths
+
+	insts, err := instantiate(in)
+	if err != nil {
+		return nil, err
+	}
+
+	cores, err := assignCores(in, res)
+	if err != nil {
+		return nil, err
+	}
+	d.Shares = cores
+
+	for ci := range in.Chains {
+		if err := d.installChain(ci, insts, cores); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := d.generateArtifacts(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// instantiate builds one NF instance per graph node (shared across every
+// platform entry that references the node, so NF state behaves like one
+// deployment).
+func instantiate(in *placer.Input) (map[*nfgraph.Node]nf.NF, error) {
+	out := make(map[*nfgraph.Node]nf.NF)
+	for _, g := range in.Chains {
+		for _, n := range g.Order {
+			inst, err := nf.New(n.Class(), g.Chain.Name+"/"+n.Name(), n.Inst.Params)
+			if err != nil {
+				return nil, fmt.Errorf("metacompiler: %w", err)
+			}
+			out[n] = inst
+		}
+	}
+	return out, nil
+}
+
+// coreAssignment maps each placer subgroup to concrete core shares.
+type coreAssignment map[*placer.Subgroup][]bess.CoreShare
+
+// assignCores lays subgroups onto concrete core indices per server,
+// skipping each server's reserved demux cores (core 0 first). Cores on the
+// NIC's socket run same-NUMA; the rest are cross-socket.
+func assignCores(in *placer.Input, res *placer.Result) (coreAssignment, error) {
+	next := map[string]int{}
+	for _, s := range in.Topo.Servers {
+		next[s.Name] = s.ReservedCores // cores [0, ReservedCores) run the demux
+	}
+	out := make(coreAssignment)
+	for _, sg := range res.Subgroups {
+		srv, err := in.Topo.ServerByName(sg.Server)
+		if err != nil {
+			return nil, err
+		}
+		for k := 0; k < sg.Cores; k++ {
+			core := next[sg.Server]
+			if core >= srv.TotalCores() {
+				return nil, fmt.Errorf("metacompiler: server %s out of cores for %s", sg.Server, sg.Name())
+			}
+			next[sg.Server]++
+			out[sg] = append(out[sg], bess.CoreShare{Core: core, Fraction: 1})
+		}
+	}
+	return out, nil
+}
+
+// installChain walks one chain's service paths and installs switch entries,
+// server subgroups and NIC programs for every owned segment.
+func (d *Deployment) installChain(ci int, insts map[*nfgraph.Node]nf.NF, cores coreAssignment) error {
+	in, res := d.Input, d.Result
+	g := in.Chains[ci]
+	chainPaths := d.ChainPaths[ci]
+
+	// Index placer subgroups by their first node for matching.
+	subOf := map[*nfgraph.Node]*placer.Subgroup{}
+	for _, sg := range res.Subgroups {
+		if sg.ChainIdx == ci {
+			subOf[sg.Nodes[0]] = sg
+		}
+	}
+
+	// Ingress classification: the chain's aggregate maps to the first
+	// path's head.
+	first := chainPaths[0]
+	d.Switch.AddClassifierRule(pisa.ClassifierRule{
+		Filter: aggregateFilter(g),
+		SPI:    first.SPI,
+		SI:     uint8(first.Length()),
+	})
+
+	for _, sp := range chainPaths {
+		segs := segments(sp, res.Assign, res.Breaks)
+		for si, seg := range segs {
+			if seg.end <= sp.OwnedFrom {
+				continue // installed by the owning sibling path
+			}
+			if seg.start < sp.OwnedFrom {
+				return fmt.Errorf("metacompiler: segment straddles ownership boundary in chain %s", g.Chain.Name)
+			}
+			var next *segment
+			if si+1 < len(segs) {
+				next = &segs[si+1]
+			}
+			if err := d.installSegment(ci, sp, seg, next, chainPaths, insts, subOf, cores); err != nil {
+				return err
+			}
+			// Relay entry: every off-switch segment gets a ToR steering
+			// entry at its own (SPI, SI) so packets can reach it from any
+			// predecessor — the path head (untagged ingress), another
+			// off-switch device, or a branch retag (whose target platform
+			// the branching entry cannot know).
+			if seg.platform != hw.PISA {
+				entrySI := sp.SIAt(seg.start)
+				if d.Switch.Entry(sp.SPI, entrySI) == nil {
+					d.Switch.SetEntry(sp.SPI, entrySI, &pisa.PathEntry{
+						Encap: true, // first hop arrives untagged
+						Out:   forwardTo(seg),
+					})
+				}
+			}
+		}
+		// Egress relay: paths ending off-switch return tagged with SI 0.
+		last := segs[len(segs)-1]
+		if last.platform != hw.PISA && d.Switch.Entry(sp.SPI, 0) == nil {
+			d.Switch.SetEntry(sp.SPI, 0, &pisa.PathEntry{
+				Decap: true,
+				Out:   pisa.Forward{Kind: pisa.Egress},
+			})
+		}
+	}
+	return nil
+}
+
+// installSegment emits the per-platform program for one owned segment.
+func (d *Deployment) installSegment(ci int, sp *ServicePath, seg segment, next *segment,
+	chainPaths []*ServicePath, insts map[*nfgraph.Node]nf.NF,
+	subOf map[*nfgraph.Node]*placer.Subgroup, cores coreAssignment) error {
+
+	nodes := sp.Nodes[seg.start:seg.end]
+	nfs := make([]nf.NF, len(nodes))
+	for i, n := range nodes {
+		nfs[i] = insts[n]
+	}
+	entrySI := sp.SIAt(seg.start)
+	advance := uint8(seg.end - seg.start)
+	lastNode := nodes[len(nodes)-1]
+
+	// Branch retargeting when the segment ends at a branch node.
+	var pisaBranches []pisa.Branch
+	var bessBranches []bess.Branch
+	if lastNode.IsBranch() {
+		for _, bt := range branchTargetsAt(sp, seg.end-1, chainPaths) {
+			var flt *bpf.Filter
+			if bt.filter != "" {
+				f, err := bpf.Compile(bt.filter)
+				if err != nil {
+					return fmt.Errorf("metacompiler: branch filter: %w", err)
+				}
+				flt = f
+			}
+			pisaBranches = append(pisaBranches, pisa.Branch{Filter: flt, Weight: bt.weight, SPI: bt.spi, SI: bt.si})
+			bessBranches = append(bessBranches, bess.Branch{Filter: flt, Weight: bt.weight, SPI: bt.spi, SI: bt.si})
+		}
+	}
+
+	switch seg.platform {
+	case hw.PISA:
+		e := &pisa.PathEntry{
+			Apply:     nfs,
+			AdvanceSI: advance,
+			Branches:  pisaBranches,
+			Out:       pisa.Forward{Kind: pisa.Egress},
+		}
+		switch {
+		case len(pisaBranches) > 0:
+			// A branching entry cannot know which platform each target
+			// lives on: re-inject and let the target's own entry or relay
+			// steer the packet.
+			e.Out = pisa.Forward{Kind: pisa.Continue}
+			e.Encap = true
+		case next != nil:
+			e.Out = forwardTo(*next)
+			// NSH is needed the moment the packet leaves this entry while
+			// still mid-path — §4.2(a) elides it only for chains that never
+			// leave the switch, which end with next == nil below.
+			e.Encap = true
+		default:
+			e.Decap = true // strip NSH (no-op for never-tagged paths)
+		}
+		if prev := d.Switch.Entry(sp.SPI, entrySI); prev != nil {
+			return fmt.Errorf("metacompiler: duplicate switch entry spi=%d si=%d", sp.SPI, entrySI)
+		}
+		d.Switch.SetEntry(sp.SPI, entrySI, e)
+
+	case hw.Server:
+		pl := d.Pipelines[seg.device]
+		if pl == nil {
+			return fmt.Errorf("metacompiler: no pipeline for server %q", seg.device)
+		}
+		psg := subOf[nodes[0]]
+		sub := &bess.Subgroup{
+			Name:      fmt.Sprintf("spi%d.si%d", sp.SPI, entrySI),
+			NFs:       nfs,
+			SPI:       sp.SPI,
+			EntrySI:   entrySI,
+			AdvanceSI: advance,
+			Branches:  bessBranches,
+		}
+		if psg != nil {
+			sub.CyclesPerPkt = psg.Cycles
+			if shares, ok := cores[psg]; ok && !d.claimed[psg] {
+				// Concrete shares go to the first install; aliased installs
+				// (merge suffixes under sibling SPIs) share the NFs but not
+				// the accounting.
+				sub.Shares = shares
+				d.claimed[psg] = true
+			}
+			srv, err := d.Input.Topo.ServerByName(seg.device)
+			if err != nil {
+				return err
+			}
+			sub.CrossSocket = anyCrossSocket(srv, sub.Shares)
+			d.SubgroupOf[sub] = psg
+		}
+		if err := pl.Add(sub); err != nil {
+			return fmt.Errorf("metacompiler: %w", err)
+		}
+
+	case hw.SmartNIC:
+		nic := d.NICs[seg.device]
+		if nic == nil {
+			return fmt.Errorf("metacompiler: no NIC runtime for %q", seg.device)
+		}
+		if len(pisaBranches) > 0 {
+			return fmt.Errorf("metacompiler: branch node %s cannot run on a SmartNIC", lastNode.Name())
+		}
+		insns := 0
+		stack := 64
+		for _, n := range nodes {
+			insns += n.Meta.EBPFInstructions
+			if n.Class() == "FastEncrypt" {
+				stack = 256
+			}
+		}
+		prog := smartnic.SynthesizeNF(fmt.Sprintf("spi%d.si%d", sp.SPI, entrySI), insns, stack)
+		if err := nic.Load(sp.SPI, entrySI, &smartnic.PathProgram{
+			Prog: prog, NFs: nfs, AdvanceSI: advance,
+		}); err != nil {
+			return fmt.Errorf("metacompiler: %w", err)
+		}
+
+	default:
+		return fmt.Errorf("metacompiler: platform %v not supported by the code generator", seg.platform)
+	}
+	return nil
+}
+
+func forwardTo(seg segment) pisa.Forward {
+	switch seg.platform {
+	case hw.Server:
+		return pisa.Forward{Kind: pisa.ToServer, Target: seg.device}
+	case hw.SmartNIC:
+		return pisa.Forward{Kind: pisa.ToNIC, Target: seg.device}
+	case hw.OpenFlow:
+		return pisa.Forward{Kind: pisa.ToOF, Target: seg.device}
+	default:
+		return pisa.Forward{Kind: pisa.Continue}
+	}
+}
+
+func anyCrossSocket(srv *hw.ServerSpec, shares []bess.CoreShare) bool {
+	nicSocket := srv.NICs[0].Socket
+	for _, s := range shares {
+		if s.Core/srv.CoresPerSocket != nicSocket {
+			return true
+		}
+	}
+	return false
+}
+
+// aggregateFilter compiles a chain's traffic aggregate into a classifier
+// filter (nil = match everything).
+func aggregateFilter(g *nfgraph.Graph) *bpf.Filter {
+	agg := g.Chain.Aggregate
+	expr := ""
+	and := func(clause string) {
+		if expr != "" {
+			expr += " && "
+		}
+		expr += clause
+	}
+	if agg.SrcCIDR != "" {
+		and("ip.src in " + agg.SrcCIDR)
+	}
+	if agg.DstCIDR != "" {
+		and("ip.dst in " + agg.DstCIDR)
+	}
+	if agg.Proto != 0 {
+		and(fmt.Sprintf("ip.proto == %d", agg.Proto))
+	}
+	if agg.DstPort != 0 {
+		and(fmt.Sprintf("port.dst == %d", agg.DstPort))
+	}
+	if expr == "" {
+		return nil
+	}
+	f, err := bpf.Compile(expr)
+	if err != nil {
+		return nil
+	}
+	return f
+}

@@ -1,0 +1,54 @@
+package nf
+
+import (
+	"fmt"
+
+	"lemur/internal/bpf"
+	"lemur/internal/packet"
+)
+
+// LB is a layer-4 load balancer: it hashes the flow 5-tuple to pick a
+// backend and rewrites the destination address. Flow-to-backend affinity is
+// stable because the hash is deterministic.
+type LB struct {
+	base
+	backends []packet.IPv4Addr
+}
+
+// NewLB builds the load balancer. Params: "backends" (list of IPs) or
+// "n_backends" (generate that many under 192.168.100.0/24, default 4).
+func NewLB(name string, params Params) (NF, error) {
+	lb := &LB{base: base{name: name, class: "LB"}}
+	for _, s := range params.StrSlice("backends") {
+		addr, bits, err := bpf.ParseCIDR(s + "/32")
+		if err != nil || bits != 32 {
+			return nil, fmt.Errorf("nf: LB %s: bad backend %q", name, s)
+		}
+		lb.backends = append(lb.backends, packet.AddrFromUint32(addr))
+	}
+	if len(lb.backends) == 0 {
+		n := params.Int("n_backends", 4)
+		if n <= 0 {
+			return nil, fmt.Errorf("nf: LB %s: needs at least one backend", name)
+		}
+		for i := 1; i <= n; i++ {
+			lb.backends = append(lb.backends, packet.IPv4Addr{192, 168, 100, byte(i)})
+		}
+	}
+	return lb, nil
+}
+
+// Backend returns the backend a flow maps to.
+func (l *LB) Backend(tu packet.FiveTuple) packet.IPv4Addr {
+	return l.backends[tu.Hash()%uint64(len(l.backends))]
+}
+
+// Process rewrites the destination to the selected backend.
+func (l *LB) Process(p *packet.Packet, _ *Env) {
+	tu, err := p.Tuple()
+	if err != nil {
+		return
+	}
+	p.IP.Dst = l.Backend(tu)
+	p.SyncHeaders()
+}

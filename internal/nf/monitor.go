@@ -1,0 +1,67 @@
+package nf
+
+import "lemur/internal/packet"
+
+// FlowStats are the per-flow counters Monitor maintains.
+type FlowStats struct {
+	Packets  uint64
+	Bytes    uint64
+	FirstSec float64
+	LastSec  float64
+}
+
+// Monitor collects per-flow statistics (packets, bytes, first/last seen).
+type Monitor struct {
+	base
+	flows map[packet.FiveTuple]*FlowStats
+	max   int
+
+	// Evicted counts flows dropped from the table when full.
+	Evicted uint64
+}
+
+// NewMonitor builds the statistics collector. Param "max_flows" caps the
+// table (default 100000).
+func NewMonitor(name string, params Params) (NF, error) {
+	return &Monitor{
+		base:  base{name: name, class: "Monitor"},
+		flows: make(map[packet.FiveTuple]*FlowStats),
+		max:   params.Int("max_flows", 100000),
+	}, nil
+}
+
+// Process updates the flow's counters; non-IP packets are ignored.
+func (m *Monitor) Process(p *packet.Packet, env *Env) {
+	tu, err := p.Tuple()
+	if err != nil {
+		return
+	}
+	st, ok := m.flows[tu]
+	if !ok {
+		if len(m.flows) >= m.max {
+			// Evict an arbitrary flow; production monitors use LRU, but the
+			// eviction policy is irrelevant to placement behaviour.
+			for k := range m.flows {
+				delete(m.flows, k)
+				m.Evicted++
+				break
+			}
+		}
+		st = &FlowStats{}
+		if env != nil {
+			st.FirstSec = env.NowSec
+		}
+		m.flows[tu] = st
+	}
+	st.Packets++
+	st.Bytes += uint64(len(p.Data))
+	if env != nil {
+		st.LastSec = env.NowSec
+	}
+}
+
+// Stats returns the counters for a flow, or nil if unseen.
+func (m *Monitor) Stats(tu packet.FiveTuple) *FlowStats { return m.flows[tu] }
+
+// NumFlows returns the number of tracked flows.
+func (m *Monitor) NumFlows() int { return len(m.flows) }

@@ -1,0 +1,144 @@
+package nf
+
+import (
+	"fmt"
+
+	"lemur/internal/bpf"
+	"lemur/internal/packet"
+)
+
+// NAT implements carrier-grade source NAT: internal (addr, port) pairs are
+// mapped to (external addr, allocated port), and the reverse mapping
+// translates return traffic. The port space is a single shared allocator,
+// which is why the paper does not replicate NAT across cores (partitioning
+// the port space is called out as future work in §3.2).
+type NAT struct {
+	base
+	external packet.IPv4Addr
+	inPrefix uint32 // traffic from this prefix is "internal" (outbound)
+	inMask   uint32
+	portBase uint16
+	maxEntry int
+	nextPort uint16
+	out      map[natKey]uint16 // internal (ip,port) -> external port
+	in       map[uint16]natKey // external port -> internal (ip,port)
+
+	// Exhausted counts packets dropped for lack of a free port/entry.
+	Exhausted uint64
+}
+
+type natKey struct {
+	addr packet.IPv4Addr
+	port uint16
+}
+
+// NewNAT builds the translator. Params: "external" (IP string, default
+// 203.0.113.1), "internal" (CIDR treated as inside, default 10.0.0.0/8),
+// "entries" (mapping capacity, default 12000 — the Table 4 profile point).
+func NewNAT(name string, params Params) (NF, error) {
+	n := &NAT{
+		base:     base{name: name, class: "NAT"},
+		external: packet.IPv4Addr{203, 0, 113, 1},
+		portBase: 20000,
+		maxEntry: params.Int("entries", 12000),
+		out:      make(map[natKey]uint16),
+		in:       make(map[uint16]natKey),
+	}
+	if s := params.Str("external", ""); s != "" {
+		addr, bits, err := bpf.ParseCIDR(s + "/32")
+		if err != nil || bits != 32 {
+			return nil, fmt.Errorf("nf: NAT %s: bad external %q", name, s)
+		}
+		n.external = packet.AddrFromUint32(addr)
+	}
+	cidr := params.Str("internal", "10.0.0.0/8")
+	addr, bits, err := bpf.ParseCIDR(cidr)
+	if err != nil {
+		return nil, fmt.Errorf("nf: NAT %s: %w", name, err)
+	}
+	n.inPrefix, n.inMask = addr, bpf.MaskBits(bits)
+	n.nextPort = n.portBase
+	return n, nil
+}
+
+// Process translates outbound packets (src in the internal prefix) and
+// reverse-translates inbound packets addressed to the external IP.
+func (n *NAT) Process(p *packet.Packet, _ *Env) {
+	if !p.HasIPv4 || (!p.HasTCP && !p.HasUDP) {
+		return
+	}
+	srcPort, dstPort := l4Ports(p)
+	switch {
+	case p.IP.Src.Uint32()&n.inMask == n.inPrefix&n.inMask:
+		key := natKey{addr: p.IP.Src, port: srcPort}
+		ext, ok := n.out[key]
+		if !ok {
+			ext, ok = n.allocate(key)
+			if !ok {
+				p.Drop = true
+				n.Exhausted++
+				return
+			}
+		}
+		p.IP.Src = n.external
+		setL4SrcPort(p, ext)
+		p.SyncHeaders()
+	case p.IP.Dst == n.external:
+		key, ok := n.in[dstPort]
+		if !ok {
+			p.Drop = true
+			return
+		}
+		p.IP.Dst = key.addr
+		setL4DstPort(p, key.port)
+		p.SyncHeaders()
+	}
+}
+
+func (n *NAT) allocate(key natKey) (uint16, bool) {
+	if len(n.out) >= n.maxEntry {
+		return 0, false
+	}
+	// Linear scan from nextPort with wraparound; the port range is
+	// [portBase, portBase+maxEntry).
+	limit := n.portBase + uint16(n.maxEntry)
+	for i := 0; i < n.maxEntry; i++ {
+		cand := n.nextPort
+		n.nextPort++
+		if n.nextPort >= limit {
+			n.nextPort = n.portBase
+		}
+		if _, used := n.in[cand]; !used {
+			n.out[key] = cand
+			n.in[cand] = key
+			return cand, true
+		}
+	}
+	return 0, false
+}
+
+// Entries returns the number of active translations.
+func (n *NAT) Entries() int { return len(n.out) }
+
+func l4Ports(p *packet.Packet) (src, dst uint16) {
+	if p.HasTCP {
+		return p.TCP.SrcPort, p.TCP.DstPort
+	}
+	return p.UDP.SrcPort, p.UDP.DstPort
+}
+
+func setL4SrcPort(p *packet.Packet, port uint16) {
+	if p.HasTCP {
+		p.TCP.SrcPort = port
+	} else {
+		p.UDP.SrcPort = port
+	}
+}
+
+func setL4DstPort(p *packet.Packet, port uint16) {
+	if p.HasTCP {
+		p.TCP.DstPort = port
+	} else {
+		p.UDP.DstPort = port
+	}
+}

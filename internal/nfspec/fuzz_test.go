@@ -1,0 +1,58 @@
+package nfspec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanicsProperty: arbitrary byte soup must produce an error
+// or a chain list, never a panic or a hang.
+func TestParseNeverPanicsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	alphabet := []byte("chain slo aggregate let {}()[]->=#\"'\n\t ABCxyz019._/")
+	f := func(n uint16) bool {
+		buf := make([]byte, int(n)%512)
+		for i := range buf {
+			buf[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on input %q: %v", buf, r)
+			}
+		}()
+		_, _ = Parse(string(buf))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseMutatedValidSpecs: take a valid spec and flip bytes; parsing must
+// stay panic-free and either succeed or fail cleanly.
+func TestParseMutatedValidSpecs(t *testing.T) {
+	base := `
+chain m {
+  slo { tmin = 2Gbps  tmax = 100Gbps }
+  aggregate { src = 10.0.0.0/8 }
+  a = ACL(rules = 64)
+  b = Encrypt()
+  a -> b
+}`
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 300; trial++ {
+		mut := []byte(base)
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			mut[rng.Intn(len(mut))] = byte(rng.Intn(128))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on mutated spec %q: %v", mut, r)
+				}
+			}()
+			_, _ = Parse(string(mut))
+		}()
+	}
+}

@@ -1,0 +1,167 @@
+// Package nsh implements Network Service Header (RFC 8300) chain steering:
+// encapsulating frames with an SPI/SI service-path tag, the SI-decrement
+// walk along a service path, and the VLAN-vid fallback encoding used when a
+// platform (the paper's OpenFlow switch) cannot carry NSH.
+//
+// A service path (SPI) is one linearized NF chain; the service index (SI)
+// counts down as the packet traverses NFs, so "which NF comes next" is a
+// pure function of (SPI, SI) — this is what lets the ToR switch act as the
+// chain coordinator.
+package nsh
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"lemur/internal/packet"
+)
+
+// MaxSPI is the largest service path identifier (24-bit field).
+const MaxSPI = 1<<24 - 1
+
+// InitialTTL is the TTL set on freshly encapsulated packets.
+const InitialTTL = 63
+
+var (
+	// ErrNotEncapped is returned when decap/walk operations are applied to a
+	// frame with no NSH header.
+	ErrNotEncapped = errors.New("nsh: frame is not NSH-encapsulated")
+	// ErrTTLExpired is returned when the service path loops too long.
+	ErrTTLExpired = errors.New("nsh: TTL expired")
+	// ErrSIExhausted is returned when SI would underflow (chain overrun).
+	ErrSIExhausted = errors.New("nsh: service index exhausted")
+)
+
+// tagOffset locates the byte offset of the ethertype field that would carry
+// (or carries) the NSH ethertype: after the Ethernet header, skipping one
+// optional outer 802.1Q tag (an NF like Tunnel may tag the transport frame
+// mid-chain).
+func tagOffset(frame []byte) (etherTypeOff, headerOff int, err error) {
+	if len(frame) < packet.EthernetLen {
+		return 0, 0, fmt.Errorf("nsh: %w", packet.ErrTooShort)
+	}
+	etOff := 12
+	hdrOff := packet.EthernetLen
+	if binary.BigEndian.Uint16(frame[etOff:]) == packet.EtherTypeVLAN {
+		etOff = packet.EthernetLen + 2
+		hdrOff = packet.EthernetLen + packet.VLANLen
+		if len(frame) < hdrOff {
+			return 0, 0, fmt.Errorf("nsh: %w", packet.ErrTooShort)
+		}
+	}
+	return etOff, hdrOff, nil
+}
+
+// nshOffset returns the offset of the NSH header in an encapsulated frame.
+func nshOffset(frame []byte) (int, error) {
+	etOff, hdrOff, err := tagOffset(frame)
+	if err != nil {
+		return 0, err
+	}
+	if binary.BigEndian.Uint16(frame[etOff:]) != packet.EtherTypeNSH ||
+		len(frame) < hdrOff+packet.NSHLen {
+		return 0, ErrNotEncapped
+	}
+	return hdrOff, nil
+}
+
+// Encap inserts an NSH header (MD type 2, no metadata) between the L2
+// headers (Ethernet plus an optional outer VLAN tag) and the IPv4 payload,
+// returning a new frame.
+func Encap(frame []byte, spi uint32, si uint8) ([]byte, error) {
+	if spi > MaxSPI {
+		return nil, fmt.Errorf("nsh: encap: SPI %#x exceeds 24 bits", spi)
+	}
+	etOff, hdrOff, err := tagOffset(frame)
+	if err != nil {
+		return nil, fmt.Errorf("nsh: encap: %w", err)
+	}
+	switch et := binary.BigEndian.Uint16(frame[etOff:]); et {
+	case packet.EtherTypeNSH:
+		return nil, errors.New("nsh: encap: frame already encapsulated")
+	case packet.EtherTypeIPv4:
+	default:
+		return nil, fmt.Errorf("nsh: encap: inner ethertype %#x unsupported", et)
+	}
+	out := make([]byte, len(frame)+packet.NSHLen)
+	copy(out, frame[:hdrOff])
+	binary.BigEndian.PutUint16(out[etOff:], packet.EtherTypeNSH)
+	// base header: ver=0 ttl=InitialTTL len=2 mdtype=2 nextproto=IPv4(0x1)
+	b0 := uint32(InitialTTL)<<22 | uint32(2)<<16 | uint32(2)<<12 | uint32(0x01)
+	binary.BigEndian.PutUint32(out[hdrOff:], b0)
+	binary.BigEndian.PutUint32(out[hdrOff+4:], spi<<8|uint32(si))
+	copy(out[hdrOff+packet.NSHLen:], frame[hdrOff:])
+	return out, nil
+}
+
+// Decap strips the NSH header, restoring the plain L2+IPv4 frame. It
+// returns the removed SPI/SI alongside.
+func Decap(frame []byte) (out []byte, spi uint32, si uint8, err error) {
+	etOff, hdrOff, err := tagOffset(frame)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("nsh: decap: %w", err)
+	}
+	if binary.BigEndian.Uint16(frame[etOff:]) != packet.EtherTypeNSH ||
+		len(frame) < hdrOff+packet.NSHLen {
+		return nil, 0, 0, ErrNotEncapped
+	}
+	sp := binary.BigEndian.Uint32(frame[hdrOff+4:])
+	spi, si = sp>>8, uint8(sp)
+	out = make([]byte, len(frame)-packet.NSHLen)
+	copy(out, frame[:hdrOff])
+	binary.BigEndian.PutUint16(out[etOff:], packet.EtherTypeIPv4)
+	copy(out[hdrOff:], frame[hdrOff+packet.NSHLen:])
+	return out, spi, si, nil
+}
+
+// Tag reads the SPI/SI of an encapsulated frame without modifying it.
+func Tag(frame []byte) (spi uint32, si uint8, err error) {
+	off, err := nshOffset(frame)
+	if err != nil {
+		return 0, 0, ErrNotEncapped
+	}
+	sp := binary.BigEndian.Uint32(frame[off+4:])
+	return sp >> 8, uint8(sp), nil
+}
+
+// Advance decrements the service index in place (one NF, or one coalesced
+// run of NFs, has been applied) and decrements TTL. steps is the number of
+// service indices consumed; the paper's meta-compiler consolidates one SI
+// update per sequential run (§4.2 optimization b), which maps to steps>1.
+func Advance(frame []byte, steps uint8) error {
+	off, err := nshOffset(frame)
+	if err != nil {
+		return ErrNotEncapped
+	}
+	b0 := binary.BigEndian.Uint32(frame[off:])
+	ttl := uint8(b0>>22) & 0x3F
+	if ttl == 0 {
+		return ErrTTLExpired
+	}
+	ttl--
+	b0 = b0&^(uint32(0x3F)<<22) | uint32(ttl)<<22
+	binary.BigEndian.PutUint32(frame[off:], b0)
+
+	sp := binary.BigEndian.Uint32(frame[off+4:])
+	si := uint8(sp)
+	if si < steps {
+		return ErrSIExhausted
+	}
+	binary.BigEndian.PutUint32(frame[off+4:], sp&^0xFF|uint32(si-steps))
+	return nil
+}
+
+// SetTag rewrites the SPI/SI of an already-encapsulated frame, used when a
+// branch moves the packet onto a different service path.
+func SetTag(frame []byte, spi uint32, si uint8) error {
+	off, err := nshOffset(frame)
+	if err != nil {
+		return ErrNotEncapped
+	}
+	if spi > MaxSPI {
+		return fmt.Errorf("nsh: SPI %#x exceeds 24 bits", spi)
+	}
+	binary.BigEndian.PutUint32(frame[off+4:], spi<<8|uint32(si))
+	return nil
+}

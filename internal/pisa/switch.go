@@ -1,0 +1,234 @@
+package pisa
+
+import (
+	"errors"
+	"fmt"
+
+	"lemur/internal/bpf"
+	"lemur/internal/hw"
+	"lemur/internal/nf"
+	"lemur/internal/nsh"
+	"lemur/internal/packet"
+)
+
+// PortKind classifies where the switch forwards a frame next.
+type PortKind int
+
+// Forwarding targets.
+const (
+	Egress   PortKind = iota // leave the rack
+	ToServer                 // bounce to a server's NIC
+	ToNIC                    // to a SmartNIC
+	ToOF                     // to the OpenFlow switch
+	Continue                 // next pipeline segment, same switch (branch/merge boundary)
+	Dropped                  // consumed (NF drop, TTL, classification miss)
+)
+
+var portKindNames = [...]string{"egress", "server", "smartnic", "openflow", "continue", "drop"}
+
+func (k PortKind) String() string {
+	if int(k) < len(portKindNames) {
+		return portKindNames[k]
+	}
+	return fmt.Sprintf("port(%d)", int(k))
+}
+
+// Forward is a forwarding decision: kind + device name (for ToServer/ToNIC).
+type Forward struct {
+	Kind   PortKind
+	Target string
+}
+
+// Branch re-tags matching packets onto another service path, implementing a
+// branch point in the NF-graph on the switch. Branches with a Filter match
+// explicitly; filterless branches split remaining traffic by flow hash in
+// proportion to Weight (operator-estimated splits, §3.2).
+type Branch struct {
+	Filter *bpf.Filter
+	Weight float64
+	SPI    uint32
+	SI     uint8
+}
+
+// pickBranch selects the branch for a packet: filtered branches first in
+// order, then a stable per-flow weighted choice among filterless ones.
+// Returns nil if no branch applies.
+func pickBranch(branches []Branch, p *packet.Packet) *Branch {
+	var weightless []*Branch
+	var totalW float64
+	for i := range branches {
+		b := &branches[i]
+		if b.Filter != nil {
+			if b.Filter.Match(p) {
+				return b
+			}
+			continue
+		}
+		weightless = append(weightless, b)
+		totalW += b.Weight
+	}
+	if len(weightless) == 0 {
+		return nil
+	}
+	var u float64
+	if tu, err := p.Tuple(); err == nil {
+		u = float64(tu.Hash()%100000) / 100000
+	}
+	if totalW <= 0 {
+		return weightless[int(u*float64(len(weightless)))%len(weightless)]
+	}
+	acc := 0.0
+	for _, b := range weightless {
+		acc += b.Weight / totalW
+		if u < acc {
+			return b
+		}
+	}
+	return weightless[len(weightless)-1]
+}
+
+// PathEntry is the switch's program for one (SPI, SI) point of a service
+// path: NFs to apply on-switch, the SI advance, optional branch re-tagging,
+// NSH encap/decap, and the forwarding decision.
+type PathEntry struct {
+	Apply     []nf.NF  // switch-resident NFs, run in order
+	AdvanceSI uint8    // consolidated SI decrement (§4.2 optimization b)
+	Branches  []Branch // evaluated after Apply; first match wins
+	Encap     bool     // push NSH before forwarding (entering the path)
+	Decap     bool     // strip NSH before forwarding (leaving the path)
+	Out       Forward
+}
+
+// ClassifierRule maps ingress traffic (no NSH yet) onto a service path.
+type ClassifierRule struct {
+	Filter *bpf.Filter
+	SPI    uint32
+	SI     uint8
+}
+
+// Switch is the PISA ToR runtime: the chain coordinator. It processes at
+// line rate, so it imposes no throughput constraint in the simulation — its
+// binding resource is pipeline stages, enforced at Compile time.
+type Switch struct {
+	Spec    *hw.PISASpec
+	Binary  *Binary
+	rules   []ClassifierRule
+	entries map[uint32]map[uint8]*PathEntry
+
+	// Counters for tests and the runtime.
+	InFrames, DroppedFrames uint64
+}
+
+// NewSwitch builds an empty switch runtime.
+func NewSwitch(spec *hw.PISASpec) *Switch {
+	return &Switch{Spec: spec, entries: make(map[uint32]map[uint8]*PathEntry)}
+}
+
+// AddClassifierRule appends an ingress classification rule.
+func (s *Switch) AddClassifierRule(r ClassifierRule) { s.rules = append(s.rules, r) }
+
+// SetEntry installs the program point for (spi, si).
+func (s *Switch) SetEntry(spi uint32, si uint8, e *PathEntry) {
+	m := s.entries[spi]
+	if m == nil {
+		m = make(map[uint8]*PathEntry)
+		s.entries[spi] = m
+	}
+	m[si] = e
+}
+
+// Entry returns the program point for (spi, si), or nil.
+func (s *Switch) Entry(spi uint32, si uint8) *PathEntry {
+	return s.entries[spi][si]
+}
+
+// ErrNoPath is returned for frames that match no classifier rule or (SPI,SI)
+// entry.
+var ErrNoPath = errors.New("pisa: no service path for frame")
+
+// ProcessFrame runs one frame through the switch pipeline and returns the
+// possibly-rewritten frame plus the forwarding decision. env supplies
+// simulated time for any switch-resident NFs that need it.
+func (s *Switch) ProcessFrame(frame []byte, env *nf.Env) ([]byte, Forward, error) {
+	s.InFrames++
+	var spi uint32
+	var si uint8
+	tagged := false
+	if tSPI, tSI, err := nsh.Tag(frame); err == nil {
+		spi, si, tagged = tSPI, tSI, true
+	}
+
+	var p packet.Packet
+	if err := p.Decode(frame); err != nil {
+		s.DroppedFrames++
+		return nil, Forward{Kind: Dropped}, fmt.Errorf("pisa: undecodable frame: %w", err)
+	}
+
+	if !tagged {
+		matched := false
+		for _, r := range s.rules {
+			if r.Filter == nil || r.Filter.Match(&p) {
+				spi, si = r.SPI, r.SI
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			s.DroppedFrames++
+			return nil, Forward{Kind: Dropped}, ErrNoPath
+		}
+	}
+
+	e := s.Entry(spi, si)
+	if e == nil {
+		s.DroppedFrames++
+		return nil, Forward{Kind: Dropped}, fmt.Errorf("%w: spi=%d si=%d", ErrNoPath, spi, si)
+	}
+
+	for _, fn := range e.Apply {
+		fn.Process(&p, env)
+		if p.Drop {
+			s.DroppedFrames++
+			return nil, Forward{Kind: Dropped}, nil
+		}
+	}
+	p.SyncHeaders()
+	frame = p.Data
+
+	// Compute the outgoing tag: advance past the NFs applied here, or jump
+	// to a branch target (filters first, then per-flow weighted choice).
+	outSPI, outSI := spi, si
+	if b := pickBranch(e.Branches, &p); b != nil {
+		outSPI, outSI = b.SPI, b.SI
+	} else if e.AdvanceSI > 0 {
+		if si < e.AdvanceSI {
+			s.DroppedFrames++
+			return nil, Forward{Kind: Dropped}, fmt.Errorf("pisa: SI underflow (si=%d advance=%d)", si, e.AdvanceSI)
+		}
+		outSI = si - e.AdvanceSI
+	}
+
+	switch {
+	case e.Encap && !tagged:
+		out, err := nsh.Encap(frame, outSPI, outSI)
+		if err != nil {
+			s.DroppedFrames++
+			return nil, Forward{Kind: Dropped}, err
+		}
+		frame = out
+	case tagged && e.Decap:
+		out, _, _, err := nsh.Decap(frame)
+		if err != nil {
+			s.DroppedFrames++
+			return nil, Forward{Kind: Dropped}, err
+		}
+		frame = out
+	case tagged && (outSPI != spi || outSI != si):
+		if err := nsh.SetTag(frame, outSPI, outSI); err != nil {
+			s.DroppedFrames++
+			return nil, Forward{Kind: Dropped}, err
+		}
+	}
+
+	return frame, e.Out, nil
+}

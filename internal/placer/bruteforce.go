@@ -1,0 +1,195 @@
+package placer
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"lemur/internal/hw"
+	"lemur/internal/nfgraph"
+)
+
+// placeBruteForce is the paper's Optimal baseline: enumerate placement
+// patterns per chain, search core allocations, rank by LP-scored marginal
+// throughput, and consult the PISA compiler on the way (§3.2). Patterns are
+// deduplicated by their performance-relevant signature, and the cross-chain
+// search is bounded by BruteForceBudget with best-first ordering so the
+// bound bites last.
+func placeBruteForce(in *Input) (*Result, error) {
+	budget := in.BruteForceBudget
+	if budget <= 0 {
+		budget = 100000
+	}
+
+	perChain := make([][]chainPattern, len(in.Chains))
+	for ci, g := range in.Chains {
+		pats, err := enumerateChainPatterns(in, g)
+		if err != nil {
+			return infeasible(SchemeOptimal, err.Error()), nil
+		}
+		// Best-first: optimistic throughput bound, descending.
+		sort.Slice(pats, func(a, b int) bool { return pats[a].bound > pats[b].bound })
+		perChain[ci] = pats
+	}
+
+	var best *Result
+	var firstReason string
+	evals := 0
+	assign := make(map[*nfgraph.Node]Assign)
+
+	var dfs func(ci int, minCores int)
+	dfs = func(ci int, minCores int) {
+		if evals >= budget {
+			return
+		}
+		if minCores > in.totalWorkerCores() {
+			return // prune: mandatory cores already exceed the rack
+		}
+		if ci == len(in.Chains) {
+			evals++
+			bound := cloneAssign(assign)
+			if reason, ok := bindServers(in, bound); !ok {
+				if firstReason == "" {
+					firstReason = reason
+				}
+				return
+			}
+			for _, breaks := range []map[*nfgraph.Node]bool{nil, splitBreaks(in, bound)} {
+				if breaks != nil && len(breaks) == 0 {
+					continue
+				}
+				res := finishSplit(in, bound, breaks, policyMarginal)
+				if !res.Feasible {
+					if firstReason == "" {
+						firstReason = res.Reason
+					}
+					continue
+				}
+				if best == nil || res.Marginal > best.Marginal+1e-6 {
+					best = res
+				}
+			}
+			return
+		}
+		for _, pat := range perChain[ci] {
+			for n, a := range pat.assign {
+				assign[n] = a
+			}
+			dfs(ci+1, minCores+pat.minCores)
+			if evals >= budget {
+				return
+			}
+		}
+	}
+	dfs(0, 0)
+
+	if best == nil {
+		if firstReason == "" {
+			firstReason = "no feasible placement in search budget"
+		}
+		return infeasible(SchemeOptimal, firstReason), nil
+	}
+	return best, nil
+}
+
+// chainPattern is one deduplicated per-chain placement pattern.
+type chainPattern struct {
+	assign   map[*nfgraph.Node]Assign
+	minCores int
+	bound    float64 // optimistic chain-rate upper bound
+}
+
+// enumerateChainPatterns lists the distinct placement patterns of one chain
+// over its nodes' allowed platforms, deduplicated by performance signature
+// (subgroup cost/weight/replicability multiset + NIC uses + switch set
+// size).
+func enumerateChainPatterns(in *Input, g *nfgraph.Graph) ([]chainPattern, error) {
+	var flex []*nfgraph.Node
+	fixed := make(map[*nfgraph.Node]Assign)
+	for _, n := range g.Order {
+		plats := in.allowedPlatforms(n)
+		switch len(plats) {
+		case 0:
+			return nil, fmt.Errorf("NF %s has no available platform", n.Name())
+		case 1:
+			fixed[n] = Assign{Platform: plats[0]}
+		default:
+			flex = append(flex, n)
+		}
+	}
+	if len(flex) > 20 {
+		return nil, fmt.Errorf("chain %s too large for brute force (%d flexible NFs)", g.Chain.Name, len(flex))
+	}
+
+	choices := make([][]hw.Platform, len(flex))
+	for i, n := range flex {
+		choices[i] = in.allowedPlatforms(n)
+	}
+
+	seen := map[string]bool{}
+	var out []chainPattern
+	assign := cloneAssign(fixed)
+
+	var walk func(i int)
+	walk = func(i int) {
+		if i == len(flex) {
+			fillDevices(in, assign)
+			sig, minCores, bound := patternSignature(in, g, assign)
+			if seen[sig] {
+				return
+			}
+			seen[sig] = true
+			out = append(out, chainPattern{assign: cloneAssign(assign), minCores: minCores, bound: bound})
+			return
+		}
+		for _, p := range choices[i] {
+			assign[flex[i]] = Assign{Platform: p}
+			walk(i + 1)
+		}
+	}
+	walk(0)
+	return out, nil
+}
+
+// patternSignature canonicalizes a per-chain assignment into the features
+// that matter for joint optimization, plus its mandatory core count and an
+// optimistic rate bound.
+func patternSignature(in *Input, g *nfgraph.Graph, assign map[*nfgraph.Node]Assign) (string, int, float64) {
+	probe := cloneAssign(assign)
+	for n, a := range probe {
+		if a.Platform == hw.Server {
+			a.Device = "probe"
+			probe[n] = a
+		}
+	}
+	subs := computeSubgroups(in, 0, g, probe)
+	var parts []string
+	minCores := 0
+	bound := math.Inf(1)
+	for _, sg := range subs {
+		parts = append(parts, fmt.Sprintf("s:%.0f/%.3f/%v", sg.Cycles, sg.Weight, sg.Replicable))
+		minCores++
+		sg.Cores = 1
+		cap := in.subRateBps(sg)
+		if sg.Replicable {
+			cap = math.Inf(1) // scalable with cores; optimistic
+		}
+		bound = minF(bound, cap)
+	}
+	for _, u := range computeNICUses(in, 0, g, probe) {
+		parts = append(parts, fmt.Sprintf("n:%s/%.0f/%.3f", u.Node.Class(), u.Cycles, u.Weight))
+		bound = minF(bound, in.nicRateBps(u))
+	}
+	// The switch node set matters for stage packing.
+	var sw []string
+	for _, n := range g.Order {
+		if a, ok := assign[n]; ok && a.Platform == hw.PISA {
+			sw = append(sw, n.Name())
+		}
+	}
+	parts = append(parts, "sw:"+strings.Join(sw, ","))
+	sort.Strings(parts)
+	bound = minF(bound, g.Chain.SLO.TMaxBps)
+	return strings.Join(parts, ";"), minCores, bound
+}

@@ -1,0 +1,225 @@
+package placer
+
+import (
+	"fmt"
+	"sort"
+
+	"lemur/internal/hw"
+	"lemur/internal/nfgraph"
+)
+
+// finish runs the common back half of every scheme: derive subgroups and
+// NIC uses from the assignment, check switch stages, allocate cores, check
+// latency SLOs, and solve the rate LP. It returns a Result that is either
+// feasible with rates filled in or carries the first infeasibility reason.
+func finish(in *Input, assign map[*nfgraph.Node]Assign, policy allocPolicy) *Result {
+	return finishSplit(in, assign, nil, policy)
+}
+
+// finishSplit is finish with explicit subgroup break marks.
+func finishSplit(in *Input, assign map[*nfgraph.Node]Assign, breaks map[*nfgraph.Node]bool, policy allocPolicy) *Result {
+	res := &Result{Assign: assign, Breaks: breaks}
+	for ci, g := range in.Chains {
+		res.Subgroups = append(res.Subgroups, computeSubgroupsSplit(in, ci, g, assign, breaks)...)
+		res.NICUses = append(res.NICUses, computeNICUses(in, ci, g, assign)...)
+	}
+	return finishCommon(in, res, policy)
+}
+
+// finishWhole is finish with the SW-Preferred subgroup model: each chain's
+// server NFs form one whole-chain run-to-completion group (the paper's "all
+// NFs are in one subgroup", §5.2), which is non-replicable as soon as the
+// chain branches, merges, or contains a non-replicable NF.
+func finishWhole(in *Input, assign map[*nfgraph.Node]Assign, policy allocPolicy) *Result {
+	res := &Result{Assign: assign}
+	for ci, g := range in.Chains {
+		byServer := map[string]*Subgroup{}
+		for _, n := range g.Order {
+			a, ok := assign[n]
+			if !ok || a.Platform != hw.Server {
+				continue
+			}
+			sg := byServer[a.Device]
+			if sg == nil {
+				sg = &Subgroup{
+					ChainIdx: ci, Server: a.Device, Weight: 1, Replicable: true,
+					Cycles: in.Topo.EncapCycles + in.Topo.DemuxCycles,
+				}
+				byServer[a.Device] = sg
+				res.Subgroups = append(res.Subgroups, sg)
+			}
+			sg.Nodes = append(sg.Nodes, n)
+			// The whole group runs per chain packet; each NF executes with
+			// probability equal to its traffic fraction.
+			sg.Cycles += in.nodeCycles(n) * n.Weight
+			if !n.Meta.Replicable || n.IsBranch() || n.IsMerge() {
+				sg.Replicable = false
+			}
+		}
+		res.NICUses = append(res.NICUses, computeNICUses(in, ci, g, assign)...)
+	}
+	return finishCommon(in, res, policy)
+}
+
+func finishCommon(in *Input, res *Result, policy allocPolicy) *Result {
+	if reason, ok := stageCheck(in, res); !ok {
+		res.Reason = reason
+		return res
+	}
+	if reason, ok := allocateCores(in, res, policy); !ok {
+		res.Reason = reason
+		return res
+	}
+	if reason, ok := checkLatency(in, res); !ok {
+		res.Reason = reason
+		return res
+	}
+	if reason, ok := solveRates(in, res); !ok {
+		res.Reason = reason
+		return res
+	}
+	res.Feasible = true
+	return res
+}
+
+// checkLatency verifies d_max for every chain that sets one (§5.3): the
+// worst root-to-leaf path delay — NF execution on servers and NICs, a fixed
+// switch pipeline latency, and one hop latency per platform transition —
+// must not exceed the bound.
+func checkLatency(in *Input, res *Result) (string, bool) {
+	const switchPipelineSec = 1e-6
+	for _, g := range in.Chains {
+		dmax := g.Chain.SLO.DMaxSec
+		if dmax <= 0 {
+			continue
+		}
+		worst := 0.0
+		for _, path := range g.Paths() {
+			d := switchPipelineSec
+			prev, prevDev := hw.PISA, ""
+			hops := 0
+			for _, n := range path.Nodes {
+				a := res.Assign[n]
+				if a.Platform != prev || (a.Platform != hw.PISA && a.Device != prevDev) {
+					hops++
+					prev, prevDev = a.Platform, a.Device
+				}
+				switch a.Platform {
+				case hw.Server:
+					d += in.nodeCycles(n) / in.clockHz()
+				case hw.SmartNIC:
+					if nic, err := in.Topo.SmartNICByName(a.Device); err == nil {
+						d += in.nodeCycles(n) / (nic.SpeedupVsServerCore * in.clockHz())
+					}
+				}
+			}
+			if prev != hw.PISA {
+				hops++
+			}
+			d += float64(hops) * in.Topo.HopLatencySec
+			if d > worst {
+				worst = d
+			}
+		}
+		if worst > dmax {
+			return fmt.Sprintf("chain %s: worst-path delay %.1fus exceeds d_max %.1fus",
+				g.Chain.Name, worst*1e6, dmax*1e6), false
+		}
+	}
+	return "", true
+}
+
+// bindServers chooses a server for every server-assigned node. Chains are
+// kept whole on one server (subgroup coalescing and run-to-completion both
+// assume it) and spread across servers by projected core demand, most
+// demanding first.
+func bindServers(in *Input, assign map[*nfgraph.Node]Assign) (string, bool) {
+	if len(in.Topo.Servers) == 1 {
+		name := in.Topo.Servers[0].Name
+		for n, a := range assign {
+			if a.Platform == hw.Server {
+				a.Device = name
+				assign[n] = a
+			}
+		}
+		return "", true
+	}
+	// Estimate each chain's minimum core demand: its subgroup count if all
+	// its server nodes landed on one server.
+	type demand struct {
+		chain int
+		cores int
+	}
+	demands := make([]demand, len(in.Chains))
+	for ci, g := range in.Chains {
+		probe := make(map[*nfgraph.Node]Assign, len(g.Order))
+		for _, n := range g.Order {
+			if a, ok := assign[n]; ok {
+				if a.Platform == hw.Server {
+					a.Device = "probe"
+				}
+				probe[n] = a
+			}
+		}
+		subs := computeSubgroups(in, ci, g, probe)
+		min := 0
+		for _, sg := range subs {
+			need := in.coresToMeet(sg, g.Chain.SLO.TMinBps)
+			if !sg.Replicable {
+				need = 1
+			}
+			min += need
+		}
+		demands[ci] = demand{chain: ci, cores: min}
+	}
+	sort.Slice(demands, func(i, j int) bool { return demands[i].cores > demands[j].cores })
+
+	remaining := map[string]int{}
+	for _, s := range in.Topo.Servers {
+		remaining[s.Name] = s.WorkerCores()
+	}
+	chainServer := make([]string, len(in.Chains))
+	for _, d := range demands {
+		best, bestRem := "", -1<<30
+		for _, s := range in.Topo.Servers {
+			if rem := remaining[s.Name]; rem > bestRem {
+				best, bestRem = s.Name, rem
+			}
+		}
+		chainServer[d.chain] = best
+		remaining[best] -= d.cores
+	}
+	for ci, g := range in.Chains {
+		for _, n := range g.Order {
+			if a, ok := assign[n]; ok && a.Platform == hw.Server {
+				a.Device = chainServer[ci]
+				assign[n] = a
+			}
+		}
+	}
+	return "", true
+}
+
+// bindNICs attaches SmartNIC-assigned nodes to the first SmartNIC (our
+// topologies have at most one).
+func bindNICs(in *Input, assign map[*nfgraph.Node]Assign) {
+	if len(in.Topo.SmartNICs) == 0 {
+		return
+	}
+	name := in.Topo.SmartNICs[0].Name
+	for n, a := range assign {
+		if a.Platform == hw.SmartNIC && a.Device == "" {
+			a.Device = name
+			assign[n] = a
+		}
+	}
+}
+
+// cloneAssign copies an assignment map.
+func cloneAssign(m map[*nfgraph.Node]Assign) map[*nfgraph.Node]Assign {
+	out := make(map[*nfgraph.Node]Assign, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

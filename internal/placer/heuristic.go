@@ -1,0 +1,349 @@
+package placer
+
+import (
+	"math"
+
+	"lemur/internal/hw"
+	"lemur/internal/nfgraph"
+	"lemur/internal/profile"
+)
+
+// placeLemur is the paper's fast heuristic (§3.2): greedy switch placement
+// with stage-driven eviction, subgroup-coalescing variants, and LP-scored
+// core allocation.
+func placeLemur(in *Input) (*Result, error) {
+	return lemurHeuristic(in, policyMarginal)
+}
+
+func lemurHeuristic(in *Input, policy allocPolicy) (*Result, error) {
+	var best *Result
+	var firstReason string
+	consider := func(res *Result) {
+		if res == nil {
+			return
+		}
+		if !res.Feasible {
+			if firstReason == "" {
+				firstReason = res.Reason
+			}
+			return
+		}
+		if best == nil || res.Marginal > best.Marginal+1e-6 {
+			best = res
+		}
+	}
+
+	for _, base := range baselineAssigns(in) {
+		// Step 1: greedy switch placement already in base; evict the
+		// lowest-cycle-cost evictable NF until the stage compiler accepts.
+		assign, ok, reason := evictUntilFits(in, base)
+		if !ok {
+			if firstReason == "" {
+				firstReason = reason
+			}
+			continue
+		}
+		// Step 2: coalescing variants. Baseline, strict+conservative,
+		// strict+aggressive, plus a fully-coalesced low-bounce variant for
+		// latency-constrained inputs.
+		variants := []map[*nfgraph.Node]Assign{assign}
+		if !in.DisableCoalescing {
+			variants = append(variants,
+				applyCoalescing(in, assign, coalesceConservative),
+				applyCoalescing(in, assign, coalesceAggressive),
+				applyCoalescing(in, assign, coalesceAll),
+			)
+		}
+		// Step 3: allocate cores, run the LP, keep the best marginal. Each
+		// variant is also tried with non-replicable NFs split into their
+		// own subgroups (trading a bounce for core scalability, §5.3).
+		for _, v := range variants {
+			bound := cloneAssign(v)
+			if reason, ok := bindServers(in, bound); !ok {
+				if firstReason == "" {
+					firstReason = reason
+				}
+				continue
+			}
+			consider(finishSplit(in, bound, nil, policy))
+			if breaks := splitBreaks(in, bound); len(breaks) > 0 {
+				consider(finishSplit(in, bound, breaks, policy))
+			}
+		}
+	}
+	if best == nil {
+		if firstReason == "" {
+			firstReason = "no feasible placement"
+		}
+		return infeasible(SchemeLemur, firstReason), nil
+	}
+	return best, nil
+}
+
+// baselineAssigns produces the step-1 greedy assignments: every NF with a
+// P4 implementation on the switch, the rest on servers — plus, when a
+// SmartNIC is present, a variant offloading eBPF-capable server NFs to it.
+func baselineAssigns(in *Input) []map[*nfgraph.Node]Assign {
+	serverOnly := make(map[*nfgraph.Node]Assign)
+	withNIC := make(map[*nfgraph.Node]Assign)
+	nicUseful := false
+	for _, g := range in.Chains {
+		for _, n := range g.Order {
+			switch {
+			case in.allows(n, hw.PISA):
+				serverOnly[n] = Assign{Platform: hw.PISA, Device: in.Topo.Switch.Name}
+				withNIC[n] = serverOnly[n]
+			case in.allows(n, hw.Server):
+				serverOnly[n] = Assign{Platform: hw.Server}
+				if in.allows(n, hw.SmartNIC) {
+					withNIC[n] = Assign{Platform: hw.SmartNIC}
+					nicUseful = true
+				} else {
+					withNIC[n] = serverOnly[n]
+				}
+			case in.allows(n, hw.SmartNIC):
+				serverOnly[n] = Assign{Platform: hw.SmartNIC}
+				withNIC[n] = serverOnly[n]
+				nicUseful = true
+			default:
+				// No platform available: leave unassigned; finish will fail
+				// with a capacity reason via the zero-rate subgroup... mark
+				// on server to surface a clear reason instead.
+				serverOnly[n] = Assign{Platform: hw.Server}
+				withNIC[n] = serverOnly[n]
+			}
+		}
+	}
+	bindNICs(in, serverOnly)
+	bindNICs(in, withNIC)
+	if nicUseful {
+		return []map[*nfgraph.Node]Assign{withNIC, serverOnly}
+	}
+	return []map[*nfgraph.Node]Assign{serverOnly}
+}
+
+// evictUntilFits implements heuristic step 1's eviction loop: while the
+// switch program overflows the pipeline, move the lowest-cycle-cost
+// server-capable NF off the switch (line-rate is guaranteed for whatever
+// stays, so cheap NFs are the best candidates to absorb on cores).
+func evictUntilFits(in *Input, base map[*nfgraph.Node]Assign) (map[*nfgraph.Node]Assign, bool, string) {
+	assign := cloneAssign(base)
+	for {
+		probe := &Result{Assign: assign}
+		reason, ok := stageCheck(in, probe)
+		if ok {
+			return assign, true, ""
+		}
+		var victim *nfgraph.Node
+		victimCost := math.Inf(1)
+		for _, n := range switchNodes(in, assign) {
+			if !in.allows(n, hw.Server) {
+				continue
+			}
+			if c := in.nodeCycles(n); c < victimCost {
+				victimCost, victim = c, n
+			}
+		}
+		if victim == nil {
+			return nil, false, reason
+		}
+		assign[victim] = Assign{Platform: hw.Server}
+	}
+}
+
+// Coalescing modes for heuristic step 2.
+type coalesceMode int
+
+const (
+	coalesceConservative coalesceMode = iota // strict ∪ conservative rules
+	coalesceAggressive                       // strict ∪ aggressive rules
+	coalesceAll                              // move every bridge NF to the server
+)
+
+// bridge describes a switch NF sitting linearly between two server
+// subgroups of the same chain — moving it to the server merges them and
+// frees a core (§3.2 step 2).
+type bridge struct {
+	node     *nfgraph.Node
+	chainIdx int
+	s1, s2   *Subgroup
+}
+
+// findBridges locates coalescing opportunities under the given assignment.
+func findBridges(in *Input, assign map[*nfgraph.Node]Assign) []bridge {
+	probe := cloneAssign(assign)
+	for n, a := range probe {
+		if a.Platform == hw.Server {
+			a.Device = "probe"
+			probe[n] = a
+		}
+	}
+	var bridges []bridge
+	for ci, g := range in.Chains {
+		subs := computeSubgroups(in, ci, g, probe)
+		tail := map[*nfgraph.Node]*Subgroup{}
+		head := map[*nfgraph.Node]*Subgroup{}
+		for _, sg := range subs {
+			head[sg.Nodes[0]] = sg
+			tail[sg.Nodes[len(sg.Nodes)-1]] = sg
+		}
+		for _, n := range g.Order {
+			a, ok := probe[n]
+			if !ok || a.Platform != hw.PISA {
+				continue
+			}
+			if len(n.Ins) != 1 || len(n.Outs) != 1 || !in.allows(n, hw.Server) {
+				continue
+			}
+			s1, ok1 := tail[n.Ins[0]]
+			s2, ok2 := head[n.Outs[0].Node]
+			if !ok1 || !ok2 || s1 == s2 {
+				continue
+			}
+			bridges = append(bridges, bridge{node: n, chainIdx: ci, s1: s1, s2: s2})
+		}
+	}
+	return bridges
+}
+
+// applyCoalescing applies step-2 rules repeatedly until fixpoint and
+// returns a new assignment. Moves only ever take NFs off the switch, so the
+// stage constraint verified in step 1 keeps holding.
+func applyCoalescing(in *Input, assign map[*nfgraph.Node]Assign, mode coalesceMode) map[*nfgraph.Node]Assign {
+	out := cloneAssign(assign)
+	overhead := in.Topo.EncapCycles + in.Topo.DemuxCycles
+	f := in.clockHz()
+	for {
+		moved := false
+		for _, b := range findBridges(in, out) {
+			cb := in.nodeCycles(b.node)
+			cc := b.s1.Cycles + b.s2.Cycles + cb - overhead // one shared overhead
+			w := b.s1.Weight
+			bits := in.frameBits()
+			replicable := b.s1.Replicable && b.s2.Replicable && b.node.Meta.Replicable
+
+			coalCores := 2.0
+			if !replicable {
+				coalCores = 1
+			}
+			thrCoal := coalCores * f / cc * bits / w
+			thrSep := minF(f/b.s1.Cycles, f/b.s2.Cycles) * bits / w
+
+			apply := false
+			switch mode {
+			case coalesceAll:
+				apply = true
+			case coalesceConservative:
+				// Strict: two coalesced cores beat one core each. Or
+				// conservative: the chain's throughput does not decrease —
+				// the pair is not the chain bottleneck at 1 core each.
+				chainBottle := math.Inf(1)
+				probeSubs := res1CoreCaps(in, out, b.chainIdx)
+				for _, r := range probeSubs {
+					chainBottle = minF(chainBottle, r)
+				}
+				apply = thrCoal > thrSep || thrCoal >= chainBottle-1e-6
+			case coalesceAggressive:
+				// Strict, or aggressive: coalescing still lets the chain
+				// meet t_min with cores that could be allocated.
+				tmin := in.Chains[b.chainIdx].Chain.SLO.TMinBps
+				need := math.Ceil(tmin * w / bits * cc / f)
+				canMeet := need <= 1 || (replicable && int(need) <= in.totalWorkerCores())
+				apply = thrCoal > thrSep || canMeet
+			}
+			if apply {
+				out[b.node] = Assign{Platform: hw.Server}
+				moved = true
+				break // recompute bridges after each move
+			}
+		}
+		if !moved {
+			return out
+		}
+	}
+}
+
+// res1CoreCaps returns each subgroup's chain-rate ceiling at one core for
+// the given chain under the assignment.
+func res1CoreCaps(in *Input, assign map[*nfgraph.Node]Assign, chainIdx int) []float64 {
+	probe := cloneAssign(assign)
+	for n, a := range probe {
+		if a.Platform == hw.Server {
+			a.Device = "probe"
+			probe[n] = a
+		}
+	}
+	subs := computeSubgroups(in, chainIdx, in.Chains[chainIdx], probe)
+	var out []float64
+	for _, sg := range subs {
+		sg.Cores = 1
+		out = append(out, in.subRateBps(sg))
+	}
+	return out
+}
+
+// placeNoProfiling is the Figure 2f ablation: placement and allocation
+// decided with a uniform cost model, then re-evaluated with real profiles.
+func placeNoProfiling(in *Input) (*Result, error) {
+	blind := *in
+	blind.DB = profile.Uniform(3000)
+	res, err := lemurHeuristic(&blind, policyMarginal)
+	if err != nil || !res.Feasible {
+		return res, err
+	}
+	return reEvaluate(in, res), nil
+}
+
+// placeNoCoreAlloc is the other ablation: the Lemur pipeline with subgroup
+// scaling disabled (every subgroup gets exactly one core).
+func placeNoCoreAlloc(in *Input) (*Result, error) {
+	pinned := *in
+	pinned.DisableCoreScaling = true
+	return lemurHeuristic(&pinned, policyMarginal)
+}
+
+// placeNoCoalesce ablates heuristic step 2: the baseline placement is used
+// as-is (with split variants), so bridge NFs never move off the switch to
+// merge subgroups and free cores.
+func placeNoCoalesce(in *Input) (*Result, error) {
+	flat := *in
+	flat.DisableCoalescing = true
+	return lemurHeuristic(&flat, policyMarginal)
+}
+
+// reEvaluate rebuilds a decided placement's rates under the input's real
+// cost database, keeping the (possibly misinformed) structure and core
+// allocation. Used by the No-Profiling ablation and the §5.2 sensitivity
+// experiment.
+func reEvaluate(in *Input, decided *Result) *Result {
+	res := &Result{Assign: decided.Assign, Stages: decided.Stages, Breaks: decided.Breaks}
+	for ci, g := range in.Chains {
+		res.Subgroups = append(res.Subgroups, computeSubgroupsSplit(in, ci, g, decided.Assign, decided.Breaks)...)
+		res.NICUses = append(res.NICUses, computeNICUses(in, ci, g, decided.Assign)...)
+	}
+	if len(res.Subgroups) != len(decided.Subgroups) {
+		res.Reason = "re-evaluation subgroup mismatch"
+		return res
+	}
+	for i, sg := range res.Subgroups {
+		sg.Cores = decided.Subgroups[i].Cores
+	}
+	if reason, ok := checkLatency(in, res); !ok {
+		res.Reason = reason
+		return res
+	}
+	if reason, ok := solveRates(in, res); !ok {
+		res.Reason = reason
+		return res
+	}
+	res.Feasible = true
+	return res
+}
+
+// ReEvaluate is the exported wrapper used by experiments (profiling-error
+// sensitivity: decide with a scaled DB, evaluate with the truth).
+func ReEvaluate(in *Input, decided *Result) *Result {
+	out := reEvaluate(in, decided)
+	out.Scheme = decided.Scheme
+	return out
+}

@@ -1,0 +1,84 @@
+package placer
+
+import (
+	"testing"
+
+	"lemur/internal/hw"
+)
+
+func TestMILPMatchesOrBeatsHeuristicAllocation(t *testing.T) {
+	for _, src := range []string{simpleChain, `
+chain a {
+  slo { tmin = 2Gbps  tmax = 100Gbps }
+  acl0 = ACL(rules = 1024)
+  enc0 = Encrypt()
+  fwd0 = IPv4Fwd()
+  acl0 -> enc0 -> fwd0
+}
+chain b {
+  slo { tmin = 1Gbps  tmax = 100Gbps }
+  ded0 = Dedup()
+  lim0 = Limiter()
+  fwd1 = IPv4Fwd()
+  ded0 -> lim0 -> fwd1
+}`} {
+		in := input(t, hw.NewPaperTestbed(), src)
+		heur, err := Place(SchemeLemur, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		milp, err := Place(SchemeMILP, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !heur.Feasible || !milp.Feasible {
+			t.Fatalf("heur=%v(%s) milp=%v(%s)", heur.Feasible, heur.Reason, milp.Feasible, milp.Reason)
+		}
+		// Exact allocation on the same structure can never be worse.
+		if milp.Marginal < heur.Marginal-1e6 {
+			t.Errorf("MILP marginal %v < heuristic %v", milp.Marginal, heur.Marginal)
+		}
+		// Invariants still hold under MILP allocation.
+		checkInvariants(t, 0, SchemeMILP, in, milp)
+	}
+}
+
+func TestMILPInfeasibleFallsBack(t *testing.T) {
+	in := input(t, hw.NewPaperTestbed(), `
+chain big {
+  slo { tmin = 80Gbps  tmax = 100Gbps }
+  enc0 = Encrypt()
+  fwd0 = IPv4Fwd()
+  enc0 -> fwd0
+}`)
+	res, err := Place(SchemeMILP, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Error("80G through a 40G NIC must be infeasible")
+	}
+}
+
+func TestMILPRespectsNonReplicable(t *testing.T) {
+	in := input(t, hw.NewPaperTestbed(), `
+chain lim {
+  slo { tmin = 1Gbps  tmax = 100Gbps }
+  ded0 = Dedup()
+  lim0 = Limiter()
+  fwd0 = IPv4Fwd()
+  ded0 -> lim0 -> fwd0
+}`)
+	res, err := Place(SchemeMILP, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("infeasible: %s", res.Reason)
+	}
+	for _, sg := range res.Subgroups {
+		if !sg.Replicable && sg.Cores != 1 {
+			t.Errorf("non-replicable %s got %d cores from the MILP", sg.Name(), sg.Cores)
+		}
+	}
+}

@@ -1,0 +1,268 @@
+// Package placer implements Lemur's Placer (§3): given NF chains with SLOs
+// and a heterogeneous topology, it decides where every NF runs (PISA switch,
+// server + core allocation, SmartNIC, OpenFlow switch) such that every chain
+// receives its minimum rate while the aggregate marginal throughput is
+// maximized.
+//
+// Schemes:
+//
+//   - Lemur      — the fast three-step heuristic of §3.2 (stage check,
+//     subgroup coalescing, LP-based marginal maximization)
+//   - Optimal    — brute-force pattern/core enumeration, ranked by LP, with
+//     the PISA compiler consulted down the ranking
+//   - HWPreferred, SWPreferred, MinBounce, Greedy — the paper's baselines
+//   - NoProfiling, NoCoreAlloc — the Figure 2f ablations
+package placer
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"lemur/internal/hw"
+	"lemur/internal/nfgraph"
+	"lemur/internal/profile"
+)
+
+// Scheme names a placement strategy.
+type Scheme string
+
+// Placement schemes.
+const (
+	SchemeLemur       Scheme = "Lemur"
+	SchemeOptimal     Scheme = "Optimal"
+	SchemeHWPreferred Scheme = "HWPreferred"
+	SchemeSWPreferred Scheme = "SWPreferred"
+	SchemeMinBounce   Scheme = "MinBounce"
+	SchemeGreedy      Scheme = "Greedy"
+	SchemeNoProfiling Scheme = "NoProfiling"
+	SchemeNoCoreAlloc Scheme = "NoCoreAlloc"
+	// SchemeMILP runs the Lemur pipeline with exact MILP core allocation
+	// (the paper's open-sourced MILP formulation, solved by branch and
+	// bound over our simplex).
+	SchemeMILP Scheme = "MILP"
+	// SchemeNoCoalesce ablates heuristic step 2: no subgroup coalescing.
+	SchemeNoCoalesce Scheme = "NoCoalesce"
+)
+
+// Schemes lists every implemented scheme in evaluation order.
+func Schemes() []Scheme {
+	return []Scheme{SchemeLemur, SchemeOptimal, SchemeHWPreferred, SchemeSWPreferred,
+		SchemeMinBounce, SchemeGreedy}
+}
+
+// DefaultFrameBits is the wire size assumed when converting packets/sec to
+// bits/sec (1530-byte frames, see internal/trafficgen).
+const DefaultFrameBits = 1530 * 8
+
+// Input is everything the Placer consumes.
+type Input struct {
+	Chains []*nfgraph.Graph
+	Topo   *hw.Topology
+	DB     *profile.DB
+
+	// FrameBits converts pps to bps; 0 means DefaultFrameBits.
+	FrameBits float64
+
+	// Restrict overrides the platform choices for an NF class (the
+	// evaluation's "IPv4Fwd is P4-only" restriction). nil entries fall back
+	// to the registry.
+	Restrict map[string][]hw.Platform
+
+	// DisableCoreScaling pins every subgroup to one core (the Figure 2f
+	// "No Core Allocation" ablation).
+	DisableCoreScaling bool
+
+	// DisableCoalescing ablates heuristic step 2 (subgroup coalescing).
+	DisableCoalescing bool
+
+	// BruteForceBudget caps the number of cross-chain pattern combinations
+	// the Optimal scheme scores (0 = default).
+	BruteForceBudget int
+}
+
+func (in *Input) frameBits() float64 {
+	if in.FrameBits > 0 {
+		return in.FrameBits
+	}
+	return DefaultFrameBits
+}
+
+// FrameBitsOrDefault exposes the pps→bps conversion factor to the runtime.
+func (in *Input) FrameBitsOrDefault() float64 { return in.frameBits() }
+
+// Assign records where one NF node runs.
+type Assign struct {
+	Platform hw.Platform
+	Device   string // server / smartnic / switch name
+}
+
+// Subgroup is a maximal run of contiguous server NFs executed
+// run-to-completion on shared cores (§3.2).
+type Subgroup struct {
+	ChainIdx   int
+	Nodes      []*nfgraph.Node
+	Server     string
+	Weight     float64 // fraction of the chain's traffic through this run
+	Cycles     float64 // per-packet cost incl. coordination overheads
+	Replicable bool
+	Cores      int
+}
+
+// Name renders a stable identifier.
+func (sg *Subgroup) Name() string {
+	if len(sg.Nodes) == 0 {
+		return fmt.Sprintf("c%d/empty", sg.ChainIdx)
+	}
+	return fmt.Sprintf("c%d/%s..%s", sg.ChainIdx, sg.Nodes[0].Name(), sg.Nodes[len(sg.Nodes)-1].Name())
+}
+
+// NICUse is one SmartNIC-resident NF with its traffic weight.
+type NICUse struct {
+	ChainIdx int
+	Node     *nfgraph.Node
+	Device   string
+	Weight   float64
+	Cycles   float64
+}
+
+// Result is a finished placement.
+type Result struct {
+	Scheme   Scheme
+	Feasible bool
+	Reason   string // why infeasible, when !Feasible
+
+	Assign    map[*nfgraph.Node]Assign
+	Subgroups []*Subgroup
+	NICUses   []*NICUse
+
+	// Breaks marks nodes that start a new run-to-completion subgroup even
+	// though the server run continues — the Placer splits runs so a
+	// non-replicable NF does not pin an otherwise scalable run to one core
+	// (the §5.3 Fig 3a Dedup/Limiter split). The meta-compiler derives its
+	// segments from the same marks.
+	Breaks map[*nfgraph.Node]bool
+
+	// ChainRates are the LP-assigned rates (bps) per chain; Marginal is
+	// Σ(rate - tmin); PredictedAggregate is Σ rates.
+	ChainRates         []float64
+	Marginal           float64
+	PredictedAggregate float64
+
+	// Stages is the PISA compiler's verdict for this placement.
+	Stages int
+
+	// PlaceTime is how long placement took.
+	PlaceTime time.Duration
+}
+
+// Infeasible constructs a failed result.
+func infeasible(scheme Scheme, reason string) *Result {
+	return &Result{Scheme: scheme, Feasible: false, Reason: reason}
+}
+
+// ErrUnknownScheme is returned by Place for unrecognized scheme names.
+var ErrUnknownScheme = errors.New("placer: unknown scheme")
+
+// Place runs the named scheme.
+func Place(scheme Scheme, in *Input) (*Result, error) {
+	if err := in.Topo.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	var (
+		res *Result
+		err error
+	)
+	switch scheme {
+	case SchemeLemur:
+		res, err = placeLemur(in)
+	case SchemeOptimal:
+		res, err = placeBruteForce(in)
+	case SchemeHWPreferred:
+		res, err = placeHWPreferred(in)
+	case SchemeSWPreferred:
+		res, err = placeSWPreferred(in)
+	case SchemeMinBounce:
+		res, err = placeMinBounce(in)
+	case SchemeGreedy:
+		res, err = placeGreedy(in)
+	case SchemeNoProfiling:
+		res, err = placeNoProfiling(in)
+	case SchemeNoCoreAlloc:
+		res, err = placeNoCoreAlloc(in)
+	case SchemeMILP:
+		res, err = placeMILP(in)
+	case SchemeNoCoalesce:
+		res, err = placeNoCoalesce(in)
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownScheme, scheme)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Scheme = scheme
+	res.PlaceTime = time.Since(start)
+	return res, nil
+}
+
+// allowedPlatforms returns the platforms node may run on under this input:
+// registry availability, optional class restriction, and topology presence.
+func (in *Input) allowedPlatforms(n *nfgraph.Node) []hw.Platform {
+	base := n.Meta.Platforms
+	if r, ok := in.Restrict[n.Class()]; ok {
+		base = r
+	}
+	var out []hw.Platform
+	for _, p := range base {
+		switch p {
+		case hw.Server:
+			if len(in.Topo.Servers) > 0 {
+				out = append(out, p)
+			}
+		case hw.PISA:
+			if in.Topo.Switch != nil {
+				out = append(out, p)
+			}
+		case hw.SmartNIC:
+			if len(in.Topo.SmartNICs) > 0 {
+				out = append(out, p)
+			}
+		case hw.OpenFlow:
+			if in.Topo.OFSwitch != nil {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+func (in *Input) allows(n *nfgraph.Node, p hw.Platform) bool {
+	for _, q := range in.allowedPlatforms(n) {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// nodeCycles is the profiled worst-case server cost of one node, inflated by
+// the worst-case cross-socket penalty (the paper's conservative profiles).
+func (in *Input) nodeCycles(n *nfgraph.Node) float64 {
+	return in.DB.WorstCycles(n.Class(), n.Inst.Params) * in.Topo.CrossSocketPenalty
+}
+
+// clockHz returns the NF servers' clock (uniform in our topologies).
+func (in *Input) clockHz() float64 { return in.Topo.Servers[0].ClockHz }
+
+// totalWorkerCores sums worker cores across servers.
+func (in *Input) totalWorkerCores() int {
+	total := 0
+	for _, s := range in.Topo.Servers {
+		total += s.WorkerCores()
+	}
+	return total
+}
+
+func minF(a, b float64) float64 { return math.Min(a, b) }

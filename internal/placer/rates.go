@@ -1,0 +1,386 @@
+package placer
+
+import (
+	"fmt"
+	"math"
+
+	"lemur/internal/lp"
+)
+
+// subRateBps is the chain-rate ceiling imposed by one subgroup: its cores'
+// packet rate divided by the fraction of chain traffic it sees.
+func (in *Input) subRateBps(sg *Subgroup) float64 {
+	if sg.Cores <= 0 || sg.Cycles <= 0 || sg.Weight <= 0 {
+		return 0
+	}
+	pps := float64(sg.Cores) * in.clockHz() / sg.Cycles
+	return pps * in.frameBits() / sg.Weight
+}
+
+// nicRateBps is the chain-rate ceiling imposed by one SmartNIC-resident NF.
+func (in *Input) nicRateBps(u *NICUse) float64 {
+	if u.Cycles <= 0 || u.Weight <= 0 {
+		return 0
+	}
+	nic, err := in.Topo.SmartNICByName(u.Device)
+	if err != nil {
+		return 0
+	}
+	pps := nic.SpeedupVsServerCore * in.clockHz() / u.Cycles
+	return pps * in.frameBits() / u.Weight
+}
+
+// chainCapBps is the estimated throughput of chain i under the placement:
+// the minimum over its subgroup and SmartNIC ceilings (§3.2). Chains with
+// no server/NIC component run at switch line rate, bounded by t_max and the
+// ingress port via the LP.
+func chainCapBps(in *Input, res *Result, chainIdx int) float64 {
+	cap := math.Inf(1)
+	for _, sg := range res.Subgroups {
+		if sg.ChainIdx == chainIdx {
+			cap = minF(cap, in.subRateBps(sg))
+		}
+	}
+	for _, u := range res.NICUses {
+		if u.ChainIdx == chainIdx {
+			cap = minF(cap, in.nicRateBps(u))
+		}
+	}
+	return cap
+}
+
+// coresToMeet returns the core count subgroup sg needs to support chain rate
+// targetBps.
+func (in *Input) coresToMeet(sg *Subgroup, targetBps float64) int {
+	if targetBps <= 0 {
+		return 1
+	}
+	ppsNeeded := targetBps * sg.Weight / in.frameBits()
+	cores := int(math.Ceil(ppsNeeded * sg.Cycles / in.clockHz()))
+	if cores < 1 {
+		cores = 1
+	}
+	return cores
+}
+
+// solveRates runs the marginal-throughput LP (§3.2): maximize Σ(r_i − t_min)
+// subject to t_min ≤ r_i ≤ min(capacity, t_max, ingress port) and per-device
+// link constraints Σ m_{i,d}·r_i ≤ C_d. On success it fills ChainRates,
+// Marginal and PredictedAggregate; on failure it returns the infeasibility
+// reason.
+func solveRates(in *Input, res *Result) (string, bool) {
+	n := len(in.Chains)
+	prob := lp.Problem{C: make([]float64, n)}
+	tmin := make([]float64, n)
+	for i, g := range in.Chains {
+		prob.C[i] = 1
+		tmin[i] = g.Chain.SLO.TMinBps
+		ub := minF(chainCapBps(in, res, i), g.Chain.SLO.TMaxBps)
+		ub = minF(ub, in.Topo.Switch.PortCapacityBps) // ingress port
+		if ub < tmin[i]-1e-6 {
+			return fmt.Sprintf("chain %s: capacity %.3g bps < t_min %.3g bps",
+				g.Chain.Name, ub, tmin[i]), false
+		}
+		// x_i = r_i - tmin_i <= ub - tmin.
+		row := make([]float64, n)
+		row[i] = 1
+		prob.A = append(prob.A, row)
+		prob.B = append(prob.B, ub-tmin[i])
+	}
+
+	// Link constraints per device.
+	type link struct {
+		cap    float64
+		visits []float64
+	}
+	links := map[string]*link{}
+	addVisit := func(dev string, cap float64, chain int, w float64) {
+		l := links[dev]
+		if l == nil {
+			l = &link{cap: cap, visits: make([]float64, n)}
+			links[dev] = l
+		}
+		l.visits[chain] += w
+	}
+	for _, sg := range res.Subgroups {
+		srv, err := in.Topo.ServerByName(sg.Server)
+		if err != nil {
+			return err.Error(), false
+		}
+		addVisit(sg.Server, srv.NICs[0].CapacityBps, sg.ChainIdx, sg.Weight)
+	}
+	for _, u := range res.NICUses {
+		nic, err := in.Topo.SmartNICByName(u.Device)
+		if err != nil {
+			return err.Error(), false
+		}
+		addVisit(u.Device, nic.CapacityBps, u.ChainIdx, u.Weight)
+	}
+	for dev, l := range links {
+		fixed := 0.0
+		for i, m := range l.visits {
+			fixed += m * tmin[i]
+		}
+		if fixed > l.cap+1e-6 {
+			return fmt.Sprintf("link %s: t_min traffic %.3g bps exceeds capacity %.3g bps",
+				dev, fixed, l.cap), false
+		}
+		row := make([]float64, n)
+		copy(row, l.visits)
+		prob.A = append(prob.A, row)
+		prob.B = append(prob.B, l.cap-fixed)
+	}
+
+	sol, err := lp.Solve(prob)
+	if err != nil {
+		return fmt.Sprintf("rate LP: %v", err), false
+	}
+	res.ChainRates = make([]float64, n)
+	res.Marginal = sol.Value
+	for i := range res.ChainRates {
+		res.ChainRates[i] = tmin[i] + sol.X[i]
+		res.PredictedAggregate += res.ChainRates[i]
+	}
+	return "", true
+}
+
+// allocPolicy controls how spare cores are handed out.
+type allocPolicy int
+
+const (
+	policyMarginal   allocPolicy = iota // Lemur/Optimal: best marginal gain first
+	policyEven                          // HWPreferred/MinBounce: round-robin chains
+	policySequential                    // Greedy: chain order, one chain at a time
+	policyNone                          // NoCoreAlloc ablation: minimum only
+)
+
+// lpMarginal scores a core allocation by solving the rate LP on a scratch
+// result (no mutation of res's rate fields). Returns -Inf when infeasible.
+func lpMarginal(in *Input, res *Result) float64 {
+	scratch := &Result{Subgroups: res.Subgroups, NICUses: res.NICUses}
+	if _, ok := solveRates(in, scratch); !ok {
+		return math.Inf(-1)
+	}
+	return scratch.Marginal
+}
+
+// refineAllocation hill-climbs the greedy allocation: the per-core greedy
+// maximizes chain capacity in isolation, but shared NIC links can make a
+// core more valuable on another chain. Try single-core moves between
+// subgroups on the same server, scored by the real LP, until no move
+// improves the marginal.
+func refineAllocation(in *Input, res *Result) {
+	minCores := func(sg *Subgroup) int {
+		if in.DisableCoreScaling || !sg.Replicable {
+			return 1
+		}
+		need := in.coresToMeet(sg, in.Chains[sg.ChainIdx].Chain.SLO.TMinBps)
+		if need < 1 {
+			need = 1
+		}
+		return need
+	}
+	for iter := 0; iter < 64; iter++ {
+		base := lpMarginal(in, res)
+		var bestDonor, bestRecip *Subgroup
+		bestGain := 1e5 // require a meaningful (0.1 Kbps) improvement
+		for _, donor := range res.Subgroups {
+			if donor.Cores <= minCores(donor) {
+				continue
+			}
+			for _, recip := range res.Subgroups {
+				if recip == donor || !recip.Replicable || recip.Server != donor.Server {
+					continue
+				}
+				donor.Cores--
+				recip.Cores++
+				if m := lpMarginal(in, res); m-base > bestGain {
+					bestGain = m - base
+					bestDonor, bestRecip = donor, recip
+				}
+				donor.Cores++
+				recip.Cores--
+			}
+		}
+		if bestDonor == nil {
+			return
+		}
+		bestDonor.Cores--
+		bestRecip.Cores++
+	}
+}
+
+// allocateCores assigns cores to subgroups: one core each, raised to meet
+// t_min (SLO-aware policies only), then spare cores per policy. It returns
+// an infeasibility reason when minimums cannot be met.
+func allocateCores(in *Input, res *Result, policy allocPolicy) (string, bool) {
+	// Per-server budgets.
+	budget := map[string]int{}
+	for _, s := range in.Topo.Servers {
+		budget[s.Name] = s.WorkerCores()
+	}
+	used := map[string]int{}
+
+	// Mandatory single core per subgroup.
+	for _, sg := range res.Subgroups {
+		sg.Cores = 1
+		used[sg.Server]++
+	}
+	for srv, u := range used {
+		if u > budget[srv] {
+			return fmt.Sprintf("server %s: %d subgroups need %d cores, has %d",
+				srv, u, u, budget[srv]), false
+		}
+	}
+
+	// Raise to meet t_min where the policy is SLO-aware. Even/none policies
+	// skip this (they are not SLO-driven), matching the baselines.
+	sloAware := policy == policyMarginal || policy == policySequential
+	if sloAware && !in.DisableCoreScaling {
+		for _, sg := range res.Subgroups {
+			tmin := in.Chains[sg.ChainIdx].Chain.SLO.TMinBps
+			need := in.coresToMeet(sg, tmin)
+			if need > 1 && !sg.Replicable {
+				return fmt.Sprintf("subgroup %s: needs %d cores for t_min but is not replicable",
+					sg.Name(), need), false
+			}
+			for sg.Cores < need {
+				if used[sg.Server] >= budget[sg.Server] {
+					return fmt.Sprintf("server %s: out of cores raising %s to t_min",
+						sg.Server, sg.Name()), false
+				}
+				sg.Cores++
+				used[sg.Server]++
+			}
+		}
+	}
+
+	if policy == policyNone || in.DisableCoreScaling {
+		return "", true
+	}
+
+	spare := func(srv string) int { return budget[srv] - used[srv] }
+	give := func(sg *Subgroup) bool {
+		if !sg.Replicable || spare(sg.Server) <= 0 {
+			return false
+		}
+		sg.Cores++
+		used[sg.Server]++
+		return true
+	}
+
+	switch policy {
+	case policyMarginal:
+		// Repeatedly apply the composite move with the best gain per core:
+		// raising a chain to its next capacity breakpoint requires one core
+		// in *every* subgroup tied at the bottleneck, so moves are
+		// evaluated per chain, not per subgroup (single-core probing sees
+		// zero gain whenever two subgroups tie).
+		for {
+			var bestAdds []*Subgroup
+			bestPerCore := 1e3 // require > ~1 Kbps/core
+			for ci, g := range in.Chains {
+				cap := minF(chainCapBps(in, res, ci), g.Chain.SLO.TMaxBps)
+				if cap >= g.Chain.SLO.TMaxBps {
+					continue
+				}
+				var adds []*Subgroup
+				stuck := false
+				for _, sg := range res.Subgroups {
+					if sg.ChainIdx != ci {
+						continue
+					}
+					if in.subRateBps(sg) <= cap*1.000001 {
+						if !sg.Replicable || spare(sg.Server) <= 0 {
+							stuck = true
+							break
+						}
+						adds = append(adds, sg)
+					}
+				}
+				if stuck || len(adds) == 0 {
+					continue
+				}
+				for _, sg := range adds {
+					sg.Cores++
+				}
+				after := minF(chainCapBps(in, res, ci), g.Chain.SLO.TMaxBps)
+				for _, sg := range adds {
+					sg.Cores--
+				}
+				if perCore := (after - cap) / float64(len(adds)); perCore > bestPerCore {
+					bestPerCore = perCore
+					bestAdds = adds
+				}
+			}
+			if bestAdds == nil {
+				break
+			}
+			ok := true
+			for _, sg := range bestAdds {
+				if !give(sg) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		refineAllocation(in, res)
+	case policyEven:
+		// Round-robin chains; within a chain, rotate its replicable
+		// subgroups; stop when a full sweep places nothing.
+		cursor := make([]int, len(in.Chains))
+		for {
+			placed := false
+			for ci := range in.Chains {
+				var subs []*Subgroup
+				for _, sg := range res.Subgroups {
+					if sg.ChainIdx == ci && sg.Replicable {
+						subs = append(subs, sg)
+					}
+				}
+				if len(subs) == 0 {
+					continue
+				}
+				for try := 0; try < len(subs); try++ {
+					sg := subs[cursor[ci]%len(subs)]
+					cursor[ci]++
+					if give(sg) {
+						placed = true
+						break
+					}
+				}
+			}
+			if !placed {
+				break
+			}
+		}
+	case policySequential:
+		// Greedy: chains in index order; pour cores into each chain's
+		// bottleneck until t_max or no further gain, then move on.
+		for ci, g := range in.Chains {
+			for {
+				cap := chainCapBps(in, res, ci)
+				if cap >= g.Chain.SLO.TMaxBps {
+					break
+				}
+				var bottleneck *Subgroup
+				bottleRate := math.Inf(1)
+				for _, sg := range res.Subgroups {
+					if sg.ChainIdx != ci {
+						continue
+					}
+					if r := in.subRateBps(sg); r < bottleRate {
+						bottleRate, bottleneck = r, sg
+					}
+				}
+				if bottleneck == nil || !give(bottleneck) {
+					break
+				}
+			}
+		}
+	}
+	return "", true
+}

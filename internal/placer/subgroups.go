@@ -1,0 +1,155 @@
+package placer
+
+import (
+	"lemur/internal/hw"
+	"lemur/internal/nfgraph"
+)
+
+// computeSubgroups derives the run-to-completion subgroups of one chain
+// under an assignment: maximal runs of server-assigned nodes connected
+// 1-in/1-out. A branch or merge node may sit inside a run but makes the
+// subgroup non-replicable (§3.2); it also ends (branch) or starts (merge)
+// the run so traffic weights stay uniform within a subgroup.
+func computeSubgroups(in *Input, chainIdx int, g *nfgraph.Graph, assign map[*nfgraph.Node]Assign) []*Subgroup {
+	return computeSubgroupsSplit(in, chainIdx, g, assign, nil)
+}
+
+// computeSubgroupsSplit is computeSubgroups with explicit break marks:
+// a marked node starts a new subgroup even mid-run.
+func computeSubgroupsSplit(in *Input, chainIdx int, g *nfgraph.Graph, assign map[*nfgraph.Node]Assign, breaks map[*nfgraph.Node]bool) []*Subgroup {
+	var subs []*Subgroup
+	inSub := make(map[*nfgraph.Node]bool)
+
+	overhead := in.Topo.EncapCycles + in.Topo.DemuxCycles
+
+	for _, n := range g.Order {
+		a, ok := assign[n]
+		if !ok || a.Platform != hw.Server || inSub[n] {
+			continue
+		}
+		sg := &Subgroup{ChainIdx: chainIdx, Server: a.Device, Weight: n.Weight, Replicable: true}
+		cur := n
+		for {
+			inSub[cur] = true
+			sg.Nodes = append(sg.Nodes, cur)
+			sg.Cycles += in.nodeCycles(cur)
+			if !cur.Meta.Replicable || cur.IsBranch() || cur.IsMerge() {
+				sg.Replicable = false
+			}
+			// Extend along a linear server run: exactly one out edge, the
+			// successor is on the same server, unvisited, not a merge, not
+			// explicitly split off, and the current node is not a branch.
+			if cur.IsBranch() || len(cur.Outs) != 1 {
+				break
+			}
+			next := cur.Outs[0].Node
+			na, ok := assign[next]
+			if !ok || na.Platform != hw.Server || na.Device != a.Device || inSub[next] ||
+				next.IsMerge() || breaks[next] {
+				break
+			}
+			cur = next
+		}
+		sg.Cycles += overhead
+		subs = append(subs, sg)
+	}
+	return subs
+}
+
+// splitBreaks proposes break marks isolating non-replicable NFs from
+// replicable neighbours within each server run, so the scalable parts can
+// take extra cores. The extra subgroup boundary costs a switch bounce and a
+// core, which the LP and allocation account for.
+func splitBreaks(in *Input, assign map[*nfgraph.Node]Assign) map[*nfgraph.Node]bool {
+	breaks := make(map[*nfgraph.Node]bool)
+	nodeRepl := func(n *nfgraph.Node) bool {
+		return n.Meta.Replicable && !n.IsBranch() && !n.IsMerge()
+	}
+	for ci, g := range in.Chains {
+		for _, sg := range computeSubgroups(in, ci, g, assign) {
+			if len(sg.Nodes) < 2 || sg.Replicable {
+				continue
+			}
+			hasRepl := false
+			for _, n := range sg.Nodes {
+				if nodeRepl(n) {
+					hasRepl = true
+				}
+			}
+			if !hasRepl {
+				continue // nothing to rescue
+			}
+			for i := 1; i < len(sg.Nodes); i++ {
+				if nodeRepl(sg.Nodes[i]) != nodeRepl(sg.Nodes[i-1]) {
+					breaks[sg.Nodes[i]] = true
+				}
+			}
+		}
+	}
+	return breaks
+}
+
+// computeNICUses collects SmartNIC-assigned nodes.
+func computeNICUses(in *Input, chainIdx int, g *nfgraph.Graph, assign map[*nfgraph.Node]Assign) []*NICUse {
+	var uses []*NICUse
+	for _, n := range g.Order {
+		if a, ok := assign[n]; ok && a.Platform == hw.SmartNIC {
+			uses = append(uses, &NICUse{
+				ChainIdx: chainIdx,
+				Node:     n,
+				Device:   a.Device,
+				Weight:   n.Weight,
+				Cycles:   in.DB.WorstCycles(n.Class(), n.Inst.Params),
+			})
+		}
+	}
+	return uses
+}
+
+// deviceVisits sums, per device, the traffic-weighted number of times a
+// packet of this chain crosses the device's link (subgroup entries for
+// servers, NF visits for SmartNICs). Used for the LP's link constraints.
+func deviceVisits(subs []*Subgroup, nics []*NICUse, chainIdx int) map[string]float64 {
+	visits := make(map[string]float64)
+	for _, sg := range subs {
+		if sg.ChainIdx == chainIdx {
+			visits[sg.Server] += sg.Weight
+		}
+	}
+	for _, u := range nics {
+		if u.ChainIdx == chainIdx {
+			visits[u.Device] += u.Weight
+		}
+	}
+	return visits
+}
+
+// Bounces counts platform transitions of a chain under an assignment — the
+// Minimum Bounce baseline's objective, also reported by the latency
+// experiments.
+func Bounces(g *nfgraph.Graph, assign map[*nfgraph.Node]Assign) int {
+	return bounceCount(g, assign)
+}
+
+// bounceCount counts platform transitions along every linear path of the
+// chain (the Minimum Bounce baseline's objective). The ToR is the implicit
+// start and end, so a path beginning or ending off-switch also pays a
+// transition.
+func bounceCount(g *nfgraph.Graph, assign map[*nfgraph.Node]Assign) int {
+	total := 0
+	for _, path := range g.Paths() {
+		prev := hw.PISA // traffic enters via the ToR
+		prevDev := ""
+		for _, n := range path.Nodes {
+			a := assign[n]
+			if a.Platform != prev || (a.Platform != hw.PISA && a.Device != prevDev) {
+				total++
+				prev, prevDev = a.Platform, a.Device
+			}
+		}
+		if prev != hw.PISA {
+			total++ // return to the ToR for egress
+		}
+	}
+	return total
+}

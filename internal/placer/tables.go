@@ -1,0 +1,168 @@
+package placer
+
+import (
+	"fmt"
+
+	"lemur/internal/hw"
+	"lemur/internal/nfgraph"
+	"lemur/internal/pisa"
+)
+
+// BuildSwitchTables lowers the switch-resident part of a placement to the
+// logical table list handed to the PISA compiler. With optimize=true it
+// models the meta-compiler's §4.2 dependency-elimination:
+//
+//	(a/b) NSH encap/decap and SI updates fold into neighbouring tables —
+//	      no extra tables, no extra dependencies;
+//	(c)   steering/classification is one shared first-stage table;
+//	(d)   parallel branches carry no mutual dependencies, so the compiler
+//	      may pack them into shared stages.
+//
+// With optimize=false it models naive topological-order codegen: a separate
+// SI-update table after every NF table, explicit encap/decap tables for
+// cross-platform chains, and serialized branches — the 27-stage variant of
+// §5.2.
+func BuildSwitchTables(in *Input, assigns []map[*nfgraph.Node]Assign, optimize bool) []pisa.LogicalTable {
+	var tables []pisa.LogicalTable
+	add := func(t pisa.LogicalTable) int {
+		tables = append(tables, t)
+		return len(tables) - 1
+	}
+	steer := add(pisa.LogicalTable{Name: "steer_classify", SRAM: 1, TCAM: 1})
+
+	for ci, g := range in.Chains {
+		assign := assigns[ci]
+		crossPlatform := false
+		for _, n := range g.Order {
+			if a, ok := assign[n]; ok && a.Platform != hw.PISA {
+				crossPlatform = true
+				break
+			}
+		}
+
+		// lastTables[n] = indices of the tables that must precede node n's
+		// table, propagated through non-switch nodes.
+		lastTables := make(map[*nfgraph.Node][]int, len(g.Order))
+		var prevSibling int = -1
+		for _, n := range g.Order {
+			// Gather dependencies from predecessors.
+			var deps []int
+			seen := map[int]bool{}
+			addDep := func(idx int) {
+				if idx >= 0 && !seen[idx] {
+					seen[idx] = true
+					deps = append(deps, idx)
+				}
+			}
+			if len(n.Ins) == 0 && !optimize {
+				// Naive codegen serializes classification before the first
+				// NF; optimization (c) folds steering into the first stage,
+				// so optimized entry tables carry no dependency on it.
+				addDep(steer)
+			}
+			for _, pred := range n.Ins {
+				for _, d := range lastTables[pred] {
+					addDep(d)
+				}
+			}
+
+			a, onSwitch := assign[n]
+			if !onSwitch || a.Platform != hw.PISA {
+				// Not a switch node: dependencies pass through.
+				lastTables[n] = deps
+				continue
+			}
+
+			prof := n.Meta.PISA
+			if prof == nil {
+				lastTables[n] = deps
+				continue
+			}
+			if !optimize && n.IsMerge() {
+				// Naive codegen re-checks merges with a guard table.
+				guard := add(pisa.LogicalTable{Name: fmt.Sprintf("c%d_%s_guard", ci, n.Name()), SRAM: 1, Deps: deps})
+				deps = []int{guard}
+			}
+			if !optimize && prevSibling >= 0 && len(n.Ins) == 1 && n.Ins[0].IsBranch() {
+				// Naive codegen serializes sibling branches.
+				deps = append(deps, prevSibling)
+			}
+			var last int
+			for t := 0; t < prof.Tables; t++ {
+				idx := add(pisa.LogicalTable{
+					Name: fmt.Sprintf("c%d_%s_t%d", ci, n.Name(), t),
+					SRAM: prof.SRAM, TCAM: prof.TCAM,
+					Deps: deps,
+				})
+				deps = []int{idx}
+				last = idx
+			}
+			if !optimize {
+				// Naive: explicit SI-update table after every NF.
+				si := add(pisa.LogicalTable{Name: fmt.Sprintf("c%d_%s_si", ci, n.Name()), SRAM: 1, Deps: []int{last}})
+				last = si
+			}
+			if len(n.Ins) == 1 && n.Ins[0].IsBranch() {
+				prevSibling = last
+			}
+			lastTables[n] = []int{last}
+		}
+
+		if !optimize && crossPlatform {
+			// Naive: dedicated encap and decap tables at the chain edges.
+			var tails []int
+			for _, n := range g.Order {
+				if len(n.Outs) == 0 {
+					tails = append(tails, lastTables[n]...)
+				}
+			}
+			enc := add(pisa.LogicalTable{Name: fmt.Sprintf("c%d_nsh_encap", ci), SRAM: 1, Deps: []int{steer}})
+			add(pisa.LogicalTable{Name: fmt.Sprintf("c%d_nsh_decap", ci), SRAM: 1, Deps: append(tails, enc)})
+		}
+	}
+	return tables
+}
+
+// stageCheck compiles the placement's switch program and records the stage
+// count. It returns false with a reason when the program does not fit.
+func stageCheck(in *Input, res *Result) (string, bool) {
+	assigns := perChainAssigns(in, res.Assign)
+	tables := BuildSwitchTables(in, assigns, true)
+	bin, err := pisa.Compile(in.Topo.Switch, tables)
+	if bin != nil {
+		res.Stages = bin.Stages
+	}
+	if err != nil {
+		return fmt.Sprintf("pisa: %v", err), false
+	}
+	return "", true
+}
+
+// perChainAssigns splits a global assignment map into per-chain maps in
+// chain order (each node belongs to exactly one chain graph).
+func perChainAssigns(in *Input, assign map[*nfgraph.Node]Assign) []map[*nfgraph.Node]Assign {
+	out := make([]map[*nfgraph.Node]Assign, len(in.Chains))
+	for i, g := range in.Chains {
+		m := make(map[*nfgraph.Node]Assign)
+		for _, n := range g.Order {
+			if a, ok := assign[n]; ok {
+				m[n] = a
+			}
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// switchNodes lists the PISA-assigned nodes of a placement.
+func switchNodes(in *Input, assign map[*nfgraph.Node]Assign) []*nfgraph.Node {
+	var out []*nfgraph.Node
+	for _, g := range in.Chains {
+		for _, n := range g.Order {
+			if a, ok := assign[n]; ok && a.Platform == hw.PISA {
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}

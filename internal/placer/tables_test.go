@@ -1,0 +1,115 @@
+package placer
+
+import (
+	"errors"
+	"testing"
+
+	"lemur/internal/hw"
+	"lemur/internal/pisa"
+)
+
+// TestStageCompaction reproduces the §5.2 stage-usage triple for the
+// 10-NAT-on-switch placement of the extreme config: the optimized
+// meta-compiler output fits the 12-stage pipeline exactly, the conservative
+// static estimator predicts 14, and naive codegen (per-NF SI updates,
+// serialized branches, dedicated encap/decap and merge guards) would need
+// 27 stages.
+func TestStageCompaction(t *testing.T) {
+	in := input(t, hw.NewPaperTestbed(), extremeChain)
+	res, err := Place(SchemeLemur, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("infeasible: %s", res.Reason)
+	}
+	assigns := perChainAssigns(in, res.Assign)
+
+	// Optimized: exactly 12 stages (asserted against the compiled result).
+	opt := BuildSwitchTables(in, assigns, true)
+	bin, err := pisa.Compile(in.Topo.Switch, opt)
+	if err != nil {
+		t.Fatalf("optimized program must fit: %v", err)
+	}
+	if bin.Stages != 12 {
+		t.Errorf("optimized stages = %d, want 12", bin.Stages)
+	}
+
+	// Conservative estimator: switch tables (BPF + 10 NAT + Fwd = 12) plus
+	// NSH encap/decap for the cross-platform chain = 14.
+	nTables := 0
+	for _, lt := range opt {
+		if lt.Name != "steer_classify" {
+			nTables++
+		}
+	}
+	if nTables != 12 {
+		t.Fatalf("switch NF tables = %d, want 12", nTables)
+	}
+	if est := pisa.ConservativeEstimate(nTables, true); est != 14 {
+		t.Errorf("conservative estimate = %d, want 14", est)
+	}
+
+	// Naive codegen: 27 stages, far beyond the pipeline.
+	naive := BuildSwitchTables(in, assigns, false)
+	nbin, err := pisa.Compile(in.Topo.Switch, naive)
+	if !errors.Is(err, pisa.ErrStageOverflow) {
+		t.Fatalf("naive program should overflow, got %v", err)
+	}
+	if nbin.Stages != 27 {
+		t.Errorf("naive stages = %d, want 27", nbin.Stages)
+	}
+}
+
+// TestBuildSwitchTablesNaive covers the naive/optimized delta on a simple
+// linear chain: naive inserts SI-update tables and explicit encap/decap.
+func TestBuildSwitchTablesNaive(t *testing.T) {
+	in := input(t, hw.NewPaperTestbed(), simpleChain)
+	res, err := Place(SchemeLemur, in)
+	if err != nil || !res.Feasible {
+		t.Fatalf("placement: %v %s", err, res.Reason)
+	}
+	assigns := perChainAssigns(in, res.Assign)
+	opt := BuildSwitchTables(in, assigns, true)
+	naive := BuildSwitchTables(in, assigns, false)
+	if len(naive) <= len(opt) {
+		t.Errorf("naive emitted %d tables, optimized %d — naive must be larger", len(naive), len(opt))
+	}
+	// The optimized variant for acl->enc(server)->fwd: steer + acl + fwd.
+	if len(opt) != 3 {
+		t.Errorf("optimized tables = %d, want 3", len(opt))
+	}
+	// Naive adds per-NF SI tables and the encap/decap pair.
+	if len(naive) != 7 {
+		t.Errorf("naive tables = %d, want 7 (steer, acl, acl_si, fwd, fwd_si, encap, decap)", len(naive))
+	}
+}
+
+// TestSwitchOnlyChainSkipsNSH checks §4.2 optimization (a): a chain placed
+// entirely on the switch generates no encap/decap tables even in naive
+// mode's accounting of cross-platform overhead.
+func TestSwitchOnlyChainSkipsNSH(t *testing.T) {
+	src := `
+chain swonly {
+  slo { tmin = 1Gbps  tmax = 100Gbps }
+  t0 = Tunnel()
+  f0 = IPv4Fwd()
+  t0 -> f0
+}`
+	in := input(t, hw.NewPaperTestbed(), src)
+	res, err := Place(SchemeLemur, in)
+	if err != nil || !res.Feasible {
+		t.Fatalf("placement: %v", err)
+	}
+	for n, a := range res.Assign {
+		if a.Platform != hw.PISA {
+			t.Fatalf("%s not on switch", n.Name())
+		}
+	}
+	naive := BuildSwitchTables(in, perChainAssigns(in, res.Assign), false)
+	for _, lt := range naive {
+		if lt.Name == "c0_nsh_encap" || lt.Name == "c0_nsh_decap" {
+			t.Errorf("switch-only chain emitted NSH table %s", lt.Name)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package runtime
+
+import (
+	"testing"
+
+	"lemur/internal/hw"
+	"lemur/internal/metacompiler"
+	"lemur/internal/nfgraph"
+	"lemur/internal/nfspec"
+	"lemur/internal/placer"
+	"lemur/internal/profile"
+)
+
+var evalRestrict = map[string][]hw.Platform{"IPv4Fwd": {hw.PISA}}
+
+func deploy(t *testing.T, topo *hw.Topology, src string, scheme placer.Scheme) (*placer.Input, *placer.Result, *Testbed) {
+	t.Helper()
+	chains, err := nfspec.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := &placer.Input{Topo: topo, DB: profile.DefaultDB(), Restrict: evalRestrict}
+	for _, c := range chains {
+		g, err := nfgraph.Build(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in.Chains = append(in.Chains, g)
+	}
+	res, err := placer.Place(scheme, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("placement infeasible: %s", res.Reason)
+	}
+	d, err := metacompiler.Compile(in, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in, res, New(d, 42)
+}
+
+const simpleSpec = `
+chain web {
+  slo { tmin = 2Gbps  tmax = 100Gbps }
+  aggregate { src = 10.0.0.0/8  dst = 172.16.0.0/12 }
+  acl0 = ACL(allow_dst = "172.16.0.0/12", rules = 1024)
+  enc0 = Encrypt()
+  fwd0 = IPv4Fwd()
+  acl0 -> enc0 -> fwd0
+}`
+
+func TestVerifyLinearChain(t *testing.T) {
+	_, _, tb := deploy(t, hw.NewPaperTestbed(), simpleSpec, placer.SchemeLemur)
+	stats, err := tb.Verify(200)
+	if err != nil {
+		t.Fatalf("verify: %v (%+v)", err, stats)
+	}
+	if stats.Egressed != 200 {
+		t.Errorf("egressed %d/200 (dropped %d)", stats.Egressed, stats.Dropped)
+	}
+	if stats.MaxHops < 1 {
+		t.Errorf("max hops = %d, expected a server bounce", stats.MaxHops)
+	}
+}
+
+func TestVerifyBranchedChains(t *testing.T) {
+	src := `
+chain split {
+  slo { tmin = 1Gbps  tmax = 100Gbps }
+  aggregate { src = 10.0.0.0/8 }
+  bpf0 = BPF()
+  enc0 = Encrypt()
+  dec0 = Decrypt()
+  fwd0 = IPv4Fwd()
+  bpf0 -> [weight = 0.5] enc0
+  bpf0 -> [weight = 0.5] dec0
+  enc0 -> fwd0
+  dec0 -> fwd0
+}`
+	_, _, tb := deploy(t, hw.NewPaperTestbed(), src, placer.SchemeLemur)
+	stats, err := tb.Verify(300)
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if stats.Egressed != 300 {
+		t.Errorf("egressed %d/300 (dropped %d)", stats.Egressed, stats.Dropped)
+	}
+	// Both branches must actually carry traffic: the server pipeline hosts
+	// enc0 and dec0 in separate subgroups.
+	var used int
+	for _, pl := range tb.D.Pipelines {
+		for _, sg := range pl.Subgroups() {
+			if sg.Processed > 0 {
+				used++
+			}
+		}
+	}
+	if used < 2 {
+		t.Errorf("only %d subgroups saw traffic; weighted split broken", used)
+	}
+}
+
+func TestVerifyMergedNATChains(t *testing.T) {
+	src := `
+chain cgnat {
+  slo { tmin = 1Gbps  tmax = 100Gbps }
+  aggregate { src = 10.0.0.0/8 }
+  enc0 = Encrypt()
+  lb0  = LB()
+  n1   = NAT()
+  n2   = NAT()
+  n3   = NAT()
+  fwd0 = IPv4Fwd()
+  enc0 -> lb0
+  lb0 -> n1 -> fwd0
+  lb0 -> n2 -> fwd0
+  lb0 -> n3 -> fwd0
+}`
+	_, _, tb := deploy(t, hw.NewPaperTestbed(), src, placer.SchemeLemur)
+	stats, err := tb.Verify(300)
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if stats.Egressed < 295 {
+		t.Errorf("egressed %d/300 (dropped %d)", stats.Egressed, stats.Dropped)
+	}
+}
+
+func TestVerifyACLDropsForeignTraffic(t *testing.T) {
+	// Aggregate admits 10/8 but the ACL only allows dst 192.0.2.0/24: every
+	// packet should be dropped by the ACL, not error out.
+	src := `
+chain deny {
+  slo { tmin = 1Gbps  tmax = 100Gbps }
+  aggregate { src = 10.0.0.0/8  dst = 172.16.0.0/12 }
+  acl0 = ACL(allow_dst = "192.0.2.0/24", rules = 0)
+  enc0 = Encrypt()
+  fwd0 = IPv4Fwd()
+  acl0 -> enc0 -> fwd0
+}`
+	_, _, tb := deploy(t, hw.NewPaperTestbed(), src, placer.SchemeLemur)
+	stats, err := tb.Verify(100)
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if stats.Dropped != 100 {
+		t.Errorf("dropped %d/100", stats.Dropped)
+	}
+}
+
+func TestMeasureTracksPrediction(t *testing.T) {
+	_, res, tb := deploy(t, hw.NewPaperTestbed(), simpleSpec, placer.SchemeLemur)
+	m, err := tb.Measure(res.ChainRates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Rates) != 1 {
+		t.Fatalf("rates = %v", m.Rates)
+	}
+	// Measured tracks predicted within a few percent, and never exceeds the
+	// offered load.
+	pred := res.ChainRates[0]
+	if m.Rates[0] > pred+1 {
+		t.Errorf("measured %v exceeds offered %v", m.Rates[0], pred)
+	}
+	if m.Rates[0] < 0.90*pred {
+		t.Errorf("measured %v far below predicted %v", m.Rates[0], pred)
+	}
+	if m.Aggregate != m.Rates[0] {
+		t.Errorf("aggregate = %v", m.Aggregate)
+	}
+	if m.WorstLatencySec[0] <= 0 || m.WorstLatencySec[0] > 1e-3 {
+		t.Errorf("latency = %v", m.WorstLatencySec[0])
+	}
+}
+
+func TestMeasureCapsAtCapacity(t *testing.T) {
+	_, res, tb := deploy(t, hw.NewPaperTestbed(), simpleSpec, placer.SchemeLemur)
+	// Offer far beyond capacity: measured stays at/below the NIC link.
+	m, err := tb.Measure([]float64{hw.Gbps(200)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rates[0] > hw.Gbps(40)+1 {
+		t.Errorf("measured %v exceeds the 40G NIC", m.Rates[0])
+	}
+	if m.Rates[0] <= res.ChainRates[0]-hw.Gbps(1) {
+		t.Errorf("measured %v well below sustainable %v", m.Rates[0], res.ChainRates[0])
+	}
+}
+
+func TestMeasureDeterministicPerSeed(t *testing.T) {
+	_, res, tb := deploy(t, hw.NewPaperTestbed(), simpleSpec, placer.SchemeLemur)
+	a, err := tb.Measure(res.ChainRates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tb.Measure(res.ChainRates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rates[0] != b.Rates[0] {
+		t.Errorf("same seed diverged: %v vs %v", a.Rates[0], b.Rates[0])
+	}
+}
+
+func TestVerifySmartNICPath(t *testing.T) {
+	src := `
+chain nic {
+  slo { tmin = 8Gbps  tmax = 100Gbps }
+  aggregate { src = 10.0.0.0/8 }
+  url0 = UrlFilter()
+  fe0  = FastEncrypt()
+  fwd0 = IPv4Fwd()
+  url0 -> fe0 -> fwd0
+}`
+	_, res, tb := deploy(t, hw.NewPaperTestbed(hw.WithSmartNIC()), src, placer.SchemeLemur)
+	stats, err := tb.Verify(100)
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if stats.Egressed != 100 {
+		t.Errorf("egressed %d/100 (dropped %d)", stats.Egressed, stats.Dropped)
+	}
+	var nicFrames uint64
+	for _, nic := range tb.D.NICs {
+		nicFrames += nic.InFrames
+	}
+	if nicFrames != 100 {
+		t.Errorf("NIC saw %d frames, want 100", nicFrames)
+	}
+	m, err := tb.Measure(res.ChainRates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rates[0] < 8e9-1 {
+		t.Errorf("measured %v below tmin", m.Rates[0])
+	}
+}

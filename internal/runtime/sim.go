@@ -1,0 +1,338 @@
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"lemur/internal/bess"
+	"lemur/internal/nf"
+	"lemur/internal/nsh"
+	"lemur/internal/pisa"
+	"lemur/internal/profile"
+	"lemur/internal/trafficgen"
+)
+
+// The analytic Measure covers steady-state rates; Simulate is the
+// discrete-time counterpart: real frames arrive at (down-scaled) offered
+// rates, queue at server subgroups whose cores have finite per-step cycle
+// budgets, overflow into drops, and accumulate queueing latency. It shows
+// the dynamics the LP cannot — queue growth at overload, drop onset, and
+// latency inflation — and doubles as a stress test of the steering fabric.
+
+// SimConfig parameterizes a simulation run.
+type SimConfig struct {
+	// DurationSec of simulated time (default 0.2).
+	DurationSec float64
+	// StepSec is the scheduler quantum (default 1 ms).
+	StepSec float64
+	// Scale divides offered rates and core budgets so packet counts stay
+	// tractable (default 2000: 30 Gbps ≈ 1.5 kpps simulated).
+	Scale float64
+	// QueueCap bounds each subgroup's input queue in packets (default 256).
+	QueueCap int
+	Seed     int64
+}
+
+func (c *SimConfig) defaults() {
+	if c.DurationSec <= 0 {
+		c.DurationSec = 0.2
+	}
+	if c.StepSec <= 0 {
+		c.StepSec = 1e-3
+	}
+	if c.Scale <= 0 {
+		c.Scale = 2000
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 256
+	}
+}
+
+// SimResult reports per-chain dynamics.
+type SimResult struct {
+	OfferedBps  []float64
+	AchievedBps []float64 // egressed goodput, rescaled
+	DropRate    []float64 // dropped / injected
+	// AvgQueueDelaySec is the mean time packets spent queued at subgroups;
+	// P99QueueDelaySec is the 99th percentile over egressed packets.
+	AvgQueueDelaySec []float64
+	P99QueueDelaySec []float64
+	Injected         []int
+	Egressed         []int
+}
+
+// simPacket is one in-flight packet.
+type simPacket struct {
+	chain     int
+	frame     []byte
+	bornSec   float64
+	queuedSec float64 // accumulated queue wait
+}
+
+// Simulate runs the discrete-time simulation with the given offered rates.
+func (tb *Testbed) Simulate(offered []float64, cfg SimConfig) (*SimResult, error) {
+	cfg.defaults()
+	in := tb.D.Input
+	if len(offered) != len(in.Chains) {
+		return nil, fmt.Errorf("runtime: offered %d rates for %d chains", len(offered), len(in.Chains))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed*17 + 3))
+	env := &nf.Env{Rand: rng}
+
+	// Traffic generators per chain.
+	gens := make([]*trafficgen.Generator, len(in.Chains))
+	for ci, g := range in.Chains {
+		agg := g.Chain.Aggregate
+		gen, err := trafficgen.New(trafficgen.Config{
+			Mode: trafficgen.LongLived, Seed: cfg.Seed + int64(ci),
+			SrcCIDR: agg.SrcCIDR, DstCIDR: agg.DstCIDR,
+			Proto: agg.Proto, DstPort: agg.DstPort,
+		})
+		if err != nil {
+			return nil, err
+		}
+		gens[ci] = gen
+	}
+
+	// Realized per-packet costs and budgets, keyed by *primary* subgroup
+	// (aliases — merge suffixes installed under sibling SPIs — resolve to
+	// their primary so budgets are not double-counted). Iteration order is
+	// fixed by sorting for determinism.
+	costOf := map[*bess.Subgroup]float64{}
+	budgetOf := map[*bess.Subgroup]float64{}
+	queues := map[*bess.Subgroup][]*simPacket{}
+	var primaries []*bess.Subgroup
+	for sub, psg := range tb.D.SubgroupOf {
+		if len(sub.Shares) == 0 {
+			continue // alias
+		}
+		srv, err := in.Topo.ServerByName(psg.Server)
+		if err != nil {
+			return nil, err
+		}
+		cost := in.Topo.EncapCycles + in.Topo.DemuxCycles
+		for _, n := range psg.Nodes {
+			worst := in.DB.WorstCycles(n.Class(), n.Inst.Params)
+			floor := profile.NoiseFloor(n.Class())
+			cost += worst * (floor + rng.Float64()*(1-floor))
+		}
+		if crossSocket(srv, tb.D.Shares[psg]) {
+			cost *= in.Topo.CrossSocketPenalty
+		}
+		costOf[sub] = cost
+		budgetOf[sub] = float64(psg.Cores) * srv.ClockHz * cfg.StepSec / cfg.Scale
+		primaries = append(primaries, sub)
+	}
+	sort.Slice(primaries, func(i, j int) bool { return primaries[i].Name < primaries[j].Name })
+
+	res := &SimResult{
+		OfferedBps:       append([]float64(nil), offered...),
+		AchievedBps:      make([]float64, len(offered)),
+		DropRate:         make([]float64, len(offered)),
+		AvgQueueDelaySec: make([]float64, len(offered)),
+		Injected:         make([]int, len(offered)),
+		Egressed:         make([]int, len(offered)),
+	}
+	dropped := make([]int, len(offered))
+	queueDelay := make([]float64, len(offered))
+	delaySamples := make([][]float64, len(offered))
+	frameBits := in.FrameBitsOrDefault()
+
+	// Fractional arrival accumulators.
+	acc := make([]float64, len(offered))
+	steps := int(cfg.DurationSec / cfg.StepSec)
+
+	// advance walks a packet from the switch until it egresses, drops, or
+	// parks in a subgroup queue (returns the subgroup it parked at).
+	advance := func(p *simPacket, now float64, credit map[*bess.Subgroup]float64) (parked bool, err error) {
+		frame := p.frame
+		for hop := 0; hop < maxWalkHops; hop++ {
+			out, fwd, perr := tb.D.Switch.ProcessFrame(frame, env)
+			if perr != nil {
+				return false, perr
+			}
+			switch fwd.Kind {
+			case pisa.Egress:
+				res.Egressed[p.chain]++
+				queueDelay[p.chain] += p.queuedSec
+				delaySamples[p.chain] = append(delaySamples[p.chain], p.queuedSec)
+				return false, nil
+			case pisa.Dropped:
+				dropped[p.chain]++
+				return false, nil
+			case pisa.Continue:
+				frame = out
+				continue
+			case pisa.ToServer:
+				pl := tb.D.Pipelines[fwd.Target]
+				if pl == nil {
+					return false, fmt.Errorf("runtime: no pipeline %q", fwd.Target)
+				}
+				spi, si, terr := nsh.Tag(out)
+				if terr != nil {
+					return false, terr
+				}
+				sub := pl.SubgroupFor(spi, si)
+				if sub == nil {
+					return false, fmt.Errorf("runtime: no subgroup for spi=%d si=%d", spi, si)
+				}
+				prim := primaryOf(tb, sub)
+				cost := costOf[prim]
+				if cost == 0 {
+					cost = sub.CyclesPerPkt
+				}
+				if credit[prim] < cost {
+					// Out of budget this step: park the packet.
+					q := queues[prim]
+					if len(q) >= cfg.QueueCap {
+						dropped[p.chain]++
+						return false, nil
+					}
+					p.frame = out
+					queues[prim] = append(q, p)
+					return true, nil
+				}
+				credit[prim] -= cost
+				next, perr := pl.ProcessFrame(out, env)
+				if perr != nil {
+					return false, perr
+				}
+				if next == nil {
+					dropped[p.chain]++
+					return false, nil
+				}
+				frame = next
+			case pisa.ToNIC:
+				nic := tb.D.NICs[fwd.Target]
+				if nic == nil {
+					return false, fmt.Errorf("runtime: no NIC %q", fwd.Target)
+				}
+				next, perr := nic.ProcessFrame(out, env)
+				if perr != nil {
+					return false, perr
+				}
+				if next == nil {
+					dropped[p.chain]++
+					return false, nil
+				}
+				frame = next
+			default:
+				return false, fmt.Errorf("runtime: unsupported forward %v", fwd.Kind)
+			}
+		}
+		dropped[p.chain]++
+		return false, nil
+	}
+
+	// resume continues a parked packet from its subgroup.
+	resume := func(p *simPacket, pl *bess.Pipeline, now float64, credit map[*bess.Subgroup]float64) (bool, error) {
+		next, perr := pl.ProcessFrame(p.frame, env)
+		if perr != nil {
+			return false, perr
+		}
+		if next == nil {
+			dropped[p.chain]++
+			return false, nil
+		}
+		p.frame = next
+		return advance(p, now, credit)
+	}
+
+	// Credits carry over between steps (bounded to two quanta) so service
+	// capacity is not floored to whole packets per step.
+	credit := map[*bess.Subgroup]float64{}
+	for step := 0; step < steps; step++ {
+		now := float64(step) * cfg.StepSec
+		env.NowSec = now
+		for sub, b := range budgetOf {
+			c := credit[sub] + b
+			if c > 2*b {
+				c = 2 * b
+			}
+			credit[sub] = c
+		}
+		// Drain queues first (FIFO), oldest packets retain their wait time.
+		for _, sub := range primaries {
+			q := queues[sub]
+			if len(q) == 0 {
+				continue
+			}
+			pl := pipelineOf(tb, sub)
+			cost := costOf[sub]
+			served := 0
+			for _, p := range q {
+				if credit[sub] < cost {
+					break
+				}
+				credit[sub] -= cost
+				p.queuedSec += now - p.bornSec // approximation: waited since arrival
+				if _, err := resume(p, pl, now, credit); err != nil {
+					return nil, err
+				}
+				served++
+			}
+			if served > 0 {
+				queues[sub] = append([]*simPacket{}, q[served:]...)
+			}
+		}
+		// New arrivals.
+		for ci := range offered {
+			acc[ci] += offered[ci] / frameBits / cfg.Scale * cfg.StepSec
+			for acc[ci] >= 1 {
+				acc[ci]--
+				pkt := gens[ci].Next(now)
+				res.Injected[ci]++
+				p := &simPacket{chain: ci, frame: pkt.Data, bornSec: now}
+				if _, err := advance(p, now, credit); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	res.P99QueueDelaySec = make([]float64, len(offered))
+	for ci := range offered {
+		if res.Injected[ci] > 0 {
+			res.DropRate[ci] = float64(dropped[ci]) / float64(res.Injected[ci])
+		}
+		res.AchievedBps[ci] = float64(res.Egressed[ci]) * frameBits * cfg.Scale / cfg.DurationSec
+		if n := res.Egressed[ci]; n > 0 {
+			res.AvgQueueDelaySec[ci] = queueDelay[ci] / float64(n)
+			s := delaySamples[ci]
+			sort.Float64s(s)
+			res.P99QueueDelaySec[ci] = s[(len(s)*99)/100]
+		}
+	}
+	return res, nil
+}
+
+// pipelineOf finds the pipeline hosting a subgroup.
+func pipelineOf(tb *Testbed, sub *bess.Subgroup) *bess.Pipeline {
+	for _, pl := range tb.D.Pipelines {
+		for _, sg := range pl.Subgroups() {
+			if sg == sub {
+				return pl
+			}
+		}
+	}
+	return nil
+}
+
+// primaryOf resolves an alias subgroup (merge suffix installed under a
+// sibling SPI) to the primary that carries the cost/budget accounting.
+func primaryOf(tb *Testbed, sub *bess.Subgroup) *bess.Subgroup {
+	if len(sub.Shares) > 0 {
+		return sub
+	}
+	psg := tb.D.SubgroupOf[sub]
+	if psg == nil {
+		return sub
+	}
+	for other, cand := range tb.D.SubgroupOf {
+		if cand == psg && len(other.Shares) > 0 {
+			return other
+		}
+	}
+	return sub
+}

@@ -1,0 +1,101 @@
+package smartnic
+
+import (
+	"errors"
+	"fmt"
+
+	"lemur/internal/hw"
+	"lemur/internal/nf"
+	"lemur/internal/nsh"
+	"lemur/internal/packet"
+)
+
+// PathProgram is the NIC-side program for one (SPI, SI) point: the verified
+// eBPF program hooked at XDP, the NF implementations giving the program its
+// packet semantics, and the SI advance applied on the way back to the ToR.
+type PathProgram struct {
+	Prog      *Program
+	NFs       []nf.NF
+	AdvanceSI uint8
+}
+
+// NIC is the SmartNIC runtime. Frames arrive NSH-tagged from the ToR, run
+// through the XDP hook and the NF bodies, and return NSH-tagged.
+type NIC struct {
+	Spec    *hw.SmartNICSpec
+	entries map[uint64]*PathProgram
+
+	// Counters.
+	InFrames, DroppedFrames uint64
+}
+
+// NewNIC builds an empty NIC runtime.
+func NewNIC(spec *hw.SmartNICSpec) *NIC {
+	return &NIC{Spec: spec, entries: make(map[uint64]*PathProgram)}
+}
+
+// ErrNoProgram is returned for frames whose (SPI, SI) has no loaded program.
+var ErrNoProgram = errors.New("smartnic: no program for service path")
+
+// Load verifies and installs a path program. Verification failure means the
+// offload is rejected, exactly as a real NIC would refuse the program —
+// the Placer treats that placement as infeasible.
+func (n *NIC) Load(spi uint32, si uint8, pp *PathProgram) error {
+	if pp.Prog == nil {
+		return errors.New("smartnic: nil program")
+	}
+	if err := Verify(pp.Prog, n.Spec); err != nil {
+		return fmt.Errorf("smartnic: load %s: %w", pp.Prog.Name, err)
+	}
+	n.entries[uint64(spi)<<8|uint64(si)] = pp
+	return nil
+}
+
+// CapacityPPS converts the NF-server profile into NIC throughput using the
+// measured speedup (the paper reports >10x for ChaCha): the NIC runs the
+// path's bottleneck NF speedup× faster than one server core, capped by the
+// port rate elsewhere (the runtime applies the link cap).
+func (n *NIC) CapacityPPS(serverClockHz, worstCycles float64) float64 {
+	if worstCycles <= 0 {
+		return 0
+	}
+	return n.Spec.SpeedupVsServerCore * serverClockHz / worstCycles
+}
+
+// ProcessFrame runs one NSH-tagged frame through the NIC: XDP program, NF
+// bodies, SI advance. A nil frame with nil error is a drop.
+func (n *NIC) ProcessFrame(frame []byte, env *nf.Env) ([]byte, error) {
+	n.InFrames++
+	inner, spi, si, err := nsh.Decap(frame)
+	if err != nil {
+		return nil, fmt.Errorf("smartnic: %w", err)
+	}
+	pp, ok := n.entries[uint64(spi)<<8|uint64(si)]
+	if !ok {
+		return nil, fmt.Errorf("%w: spi=%d si=%d", ErrNoProgram, spi, si)
+	}
+	action, err := Run(pp.Prog, inner)
+	if err != nil {
+		return nil, err
+	}
+	if action == XDPDrop {
+		n.DroppedFrames++
+		return nil, nil
+	}
+	var p packet.Packet
+	if err := p.Decode(inner); err != nil {
+		return nil, fmt.Errorf("smartnic: %w", err)
+	}
+	for _, fn := range pp.NFs {
+		fn.Process(&p, env)
+		if p.Drop {
+			n.DroppedFrames++
+			return nil, nil
+		}
+	}
+	p.SyncHeaders()
+	if si < pp.AdvanceSI {
+		return nil, fmt.Errorf("smartnic: SI underflow (si=%d advance=%d)", si, pp.AdvanceSI)
+	}
+	return nsh.Encap(p.Data, spi, si-pp.AdvanceSI)
+}

@@ -1,0 +1,84 @@
+package trafficgen
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"lemur/internal/packet"
+)
+
+func TestPcapRoundTrip(t *testing.T) {
+	g, err := New(Config{Mode: LongLived, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := DumpPcap(&buf, g, 25, 1000); err != nil {
+		t.Fatal(err)
+	}
+	frames, err := ReadPcap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 25 {
+		t.Fatalf("frames = %d, want 25", len(frames))
+	}
+	// Every recovered frame decodes as a valid packet from the aggregate.
+	for i, f := range frames {
+		var p packet.Packet
+		if err := p.Decode(f); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !p.HasIPv4 || p.IP.Src.Uint32()>>24 != 10 {
+			t.Errorf("frame %d: src %v outside 10/8", i, p.IP.Src)
+		}
+	}
+}
+
+func TestPcapHeaderFields(t *testing.T) {
+	var buf bytes.Buffer
+	pw, err := NewPcapWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pw.WriteFrame(1.5, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if pw.Count() != 1 {
+		t.Errorf("count = %d", pw.Count())
+	}
+	b := buf.Bytes()
+	if got := binary.LittleEndian.Uint32(b[0:]); got != 0xa1b2c3d4 {
+		t.Errorf("magic = %#x", got)
+	}
+	if got := binary.LittleEndian.Uint32(b[20:]); got != 1 {
+		t.Errorf("linktype = %d, want 1 (Ethernet)", got)
+	}
+	// Record: ts 1.5s = sec 1 usec 500000, caplen 4.
+	rec := b[24:]
+	if binary.LittleEndian.Uint32(rec[0:]) != 1 || binary.LittleEndian.Uint32(rec[4:]) != 500000 {
+		t.Errorf("timestamp = %d.%06d", binary.LittleEndian.Uint32(rec[0:]), binary.LittleEndian.Uint32(rec[4:]))
+	}
+	if binary.LittleEndian.Uint32(rec[8:]) != 4 {
+		t.Errorf("caplen = %d", binary.LittleEndian.Uint32(rec[8:]))
+	}
+}
+
+func TestReadPcapErrors(t *testing.T) {
+	if _, err := ReadPcap(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Error("short header must fail")
+	}
+	bad := make([]byte, 24)
+	if _, err := ReadPcap(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic must fail")
+	}
+	// Truncated record body.
+	var buf bytes.Buffer
+	pw, _ := NewPcapWriter(&buf)
+	pw.WriteFrame(0, make([]byte, 100))
+	trunc := buf.Bytes()[:buf.Len()-10]
+	if _, err := ReadPcap(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated frame must fail")
+	}
+}

@@ -1,0 +1,205 @@
+// Package trafficgen synthesizes the traffic the paper's testbed generator
+// produced: per-chain traffic aggregates with either long-lived flows (30-50
+// uniform flows) or short-lived churn (10,000 new flows/sec, 1 s lifetime),
+// the two mixes footnote 6 uses to exercise worst-case NF behaviour.
+package trafficgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lemur/internal/bpf"
+	"lemur/internal/packet"
+)
+
+// DefaultFrameBytes is the frame size used throughout the reproduction:
+// 1500 B payload-bearing frame plus 30 B of Ethernet+NSH overhead, matching
+// the §5.2 extreme-config arithmetic (1.7e9/463 cycles * 1530*8 bits ≈ 44.9
+// Gbps).
+const DefaultFrameBytes = 1530
+
+// Mode selects the flow-lifetime mix.
+type Mode int
+
+// Traffic modes from the paper's footnote 6.
+const (
+	// LongLived: 30-50 uniformly distributed long-lived flows, for NFs that
+	// perform worst with steady flows.
+	LongLived Mode = iota
+	// ShortLived: high flow churn (10,000 new flows/sec, ~1 s lifetimes),
+	// for NFs with per-flow state setup costs.
+	ShortLived
+)
+
+// Config describes one traffic aggregate.
+type Config struct {
+	Mode        Mode
+	SrcCIDR     string  // source prefix of the aggregate (default 10.0.0.0/8)
+	DstCIDR     string  // destination prefix (default 172.16.0.0/12)
+	DstPort     uint16  // 0 = random per flow
+	Proto       uint8   // default UDP
+	FrameBytes  int     // default DefaultFrameBytes
+	Flows       int     // LongLived: flow count (default 40)
+	NewFlowsSec int     // ShortLived: flow arrival rate (default 10000)
+	Redundancy  float64 // fraction of payload chunks repeated (Dedup); 0 = random
+	HTTPShare   float64 // fraction of packets carrying an HTTP head (UrlFilter)
+	Seed        int64
+}
+
+// Generator produces packets for one aggregate.
+type Generator struct {
+	cfg     Config
+	rng     *rand.Rand
+	flows   []packet.FiveTuple
+	born    []float64 // ShortLived: flow birth time
+	srcBase uint32
+	srcMask uint32
+	dstBase uint32
+	dstMask uint32
+	seq     uint64
+	redund  []byte // shared redundant chunk
+}
+
+// New builds a generator, applying defaults.
+func New(cfg Config) (*Generator, error) {
+	if cfg.SrcCIDR == "" {
+		cfg.SrcCIDR = "10.0.0.0/8"
+	}
+	if cfg.DstCIDR == "" {
+		cfg.DstCIDR = "172.16.0.0/12"
+	}
+	if cfg.Proto == 0 {
+		cfg.Proto = packet.IPProtoUDP
+	}
+	if cfg.FrameBytes == 0 {
+		cfg.FrameBytes = DefaultFrameBytes
+	}
+	if cfg.Flows == 0 {
+		cfg.Flows = 40
+	}
+	if cfg.NewFlowsSec == 0 {
+		cfg.NewFlowsSec = 10000
+	}
+	g := &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed + 1))}
+	var bits int
+	var err error
+	g.srcBase, bits, err = bpf.ParseCIDR(cfg.SrcCIDR)
+	if err != nil {
+		return nil, fmt.Errorf("trafficgen: src: %w", err)
+	}
+	g.srcMask = bpf.MaskBits(bits)
+	g.dstBase, bits, err = bpf.ParseCIDR(cfg.DstCIDR)
+	if err != nil {
+		return nil, fmt.Errorf("trafficgen: dst: %w", err)
+	}
+	g.dstMask = bpf.MaskBits(bits)
+
+	g.redund = make([]byte, 64)
+	g.rng.Read(g.redund)
+
+	if cfg.Mode == LongLived {
+		n := cfg.Flows
+		for i := 0; i < n; i++ {
+			g.flows = append(g.flows, g.newTuple())
+		}
+	}
+	return g, nil
+}
+
+func (g *Generator) newTuple() packet.FiveTuple {
+	src := g.srcBase&g.srcMask | g.rng.Uint32()&^g.srcMask
+	dst := g.dstBase&g.dstMask | g.rng.Uint32()&^g.dstMask
+	dport := g.cfg.DstPort
+	if dport == 0 {
+		dport = uint16(1024 + g.rng.Intn(60000))
+	}
+	return packet.FiveTuple{
+		Src:     packet.AddrFromUint32(src),
+		Dst:     packet.AddrFromUint32(dst),
+		SrcPort: uint16(1024 + g.rng.Intn(60000)),
+		DstPort: dport,
+		Proto:   g.cfg.Proto,
+	}
+}
+
+// Next produces the next packet at simulated time nowSec. The returned
+// packet owns a fresh buffer.
+func (g *Generator) Next(nowSec float64) *packet.Packet {
+	var tu packet.FiveTuple
+	switch g.cfg.Mode {
+	case ShortLived:
+		// Retire expired flows (~1 s lifetime) and admit new ones at the
+		// configured arrival rate; steady-state population ≈ NewFlowsSec.
+		live := g.flows[:0]
+		liveBorn := g.born[:0]
+		for i, f := range g.flows {
+			if nowSec-g.born[i] < 1.0 {
+				live = append(live, f)
+				liveBorn = append(liveBorn, g.born[i])
+			}
+		}
+		g.flows, g.born = live, liveBorn
+		target := int(float64(g.cfg.NewFlowsSec) * 1.0) // steady-state pool
+		if len(g.flows) < target {
+			g.flows = append(g.flows, g.newTuple())
+			g.born = append(g.born, nowSec)
+		}
+		tu = g.flows[g.rng.Intn(len(g.flows))]
+	default:
+		tu = g.flows[g.rng.Intn(len(g.flows))]
+	}
+	g.seq++
+
+	payLen := g.cfg.FrameBytes - packet.EthernetLen - packet.NSHLen - packet.IPv4Len - packet.UDPLen
+	if g.cfg.Proto == packet.IPProtoTCP {
+		payLen -= packet.TCPLen - packet.UDPLen
+	}
+	if payLen < 0 {
+		payLen = 0
+	}
+	payload := make([]byte, payLen)
+	g.fillPayload(payload)
+
+	b := packet.Builder{
+		EthSrc: packet.MAC{0x02, 0, 0, 0, 0, 1},
+		EthDst: packet.MAC{0x02, 0, 0, 0, 0, 2},
+		Src:    tu.Src, Dst: tu.Dst,
+		Proto:   tu.Proto,
+		SrcPort: tu.SrcPort, DstPort: tu.DstPort,
+		Payload: payload,
+	}
+	return b.New()
+}
+
+func (g *Generator) fillPayload(p []byte) {
+	if g.cfg.HTTPShare > 0 && g.rng.Float64() < g.cfg.HTTPShare {
+		head := "GET /path/item HTTP/1.1\r\nHost: site-"
+		head += fmt.Sprintf("%d.example\r\n\r\n", g.rng.Intn(1000))
+		copy(p, head)
+		p = p[min(len(head), len(p)):]
+	}
+	for off := 0; off < len(p); off += 64 {
+		end := off + 64
+		if end > len(p) {
+			end = len(p)
+		}
+		if g.cfg.Redundancy > 0 && g.rng.Float64() < g.cfg.Redundancy {
+			copy(p[off:end], g.redund)
+		} else {
+			g.rng.Read(p[off:end])
+		}
+	}
+}
+
+// FlowCount returns the current live-flow population.
+func (g *Generator) FlowCount() int { return len(g.flows) }
+
+// Emitted returns how many packets have been generated.
+func (g *Generator) Emitted() uint64 { return g.seq }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,343 @@
+// Package lemur is the public API of the Lemur reproduction — a system that
+// places NF (network function) chains across heterogeneous hardware (a PISA
+// programmable ToR switch, x86 servers running a BESS-style dataplane, eBPF
+// SmartNICs, OpenFlow switches) so that every chain meets its SLO while the
+// aggregate marginal throughput is maximized, then auto-generates the
+// cross-platform steering code and executes it. It reproduces "Meeting SLOs
+// in Cross-Platform NFV" (CoNEXT 2020).
+//
+// Typical use:
+//
+//	sys := lemur.New(lemur.WithSmartNIC())
+//	err := sys.LoadSpec(`
+//	  chain web {
+//	    slo { tmin = 2Gbps  tmax = 100Gbps }
+//	    aggregate { src = 10.0.0.0/8 }
+//	    acl0 = ACL(allow_dst = "172.16.0.0/12")
+//	    enc0 = Encrypt()
+//	    fwd0 = IPv4Fwd()
+//	    acl0 -> enc0 -> fwd0
+//	  }`)
+//	pl, err := sys.Place()     // where does every NF run, with how many cores?
+//	dep, err := sys.Deploy()   // compile + stand up the simulated testbed
+//	rep, err := dep.SendPackets(1000)
+//	meas, err := dep.Measure() // achieved rates vs the SLO
+package lemur
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lemur/internal/core"
+	"lemur/internal/hw"
+	"lemur/internal/metacompiler"
+	"lemur/internal/placer"
+	"lemur/internal/runtime"
+)
+
+// Scheme selects the placement algorithm.
+type Scheme string
+
+// Placement schemes: Lemur's heuristic (default), exhaustive search, and
+// the paper's baselines.
+const (
+	SchemeLemur       Scheme = Scheme(placer.SchemeLemur)
+	SchemeOptimal     Scheme = Scheme(placer.SchemeOptimal)
+	SchemeHWPreferred Scheme = Scheme(placer.SchemeHWPreferred)
+	SchemeSWPreferred Scheme = Scheme(placer.SchemeSWPreferred)
+	SchemeMinBounce   Scheme = Scheme(placer.SchemeMinBounce)
+	SchemeGreedy      Scheme = Scheme(placer.SchemeGreedy)
+)
+
+// Option configures a System at construction.
+type Option func(*options)
+
+type options struct {
+	topoOpts []hw.TestbedOption
+	scheme   placer.Scheme
+	restrict map[string][]hw.Platform
+	seed     int64
+}
+
+// WithSmartNIC attaches a 40G eBPF SmartNIC to the first server.
+func WithSmartNIC() Option {
+	return func(o *options) { o.topoOpts = append(o.topoOpts, hw.WithSmartNIC()) }
+}
+
+// WithServers deploys n identical NF servers instead of one.
+func WithServers(n int) Option {
+	return func(o *options) { o.topoOpts = append(o.topoOpts, hw.WithServers(n)) }
+}
+
+// WithOpenFlowSwitch adds an OpenFlow switch to the rack.
+func WithOpenFlowSwitch() Option {
+	return func(o *options) { o.topoOpts = append(o.topoOpts, hw.WithOpenFlowSwitch()) }
+}
+
+// WithSingleSocket restricts servers to one 8-core socket.
+func WithSingleSocket() Option {
+	return func(o *options) { o.topoOpts = append(o.topoOpts, hw.WithSingleSocket()) }
+}
+
+// WithScheme selects the placement algorithm (default SchemeLemur).
+func WithScheme(s Scheme) Option {
+	return func(o *options) { o.scheme = placer.Scheme(s) }
+}
+
+// WithP4Only restricts an NF class to the PISA switch (the evaluation pins
+// IPv4Fwd this way).
+func WithP4Only(class string) Option {
+	return func(o *options) {
+		if o.restrict == nil {
+			o.restrict = map[string][]hw.Platform{}
+		}
+		o.restrict[class] = []hw.Platform{hw.PISA}
+	}
+}
+
+// WithSeed fixes the testbed's measurement seed.
+func WithSeed(seed int64) Option {
+	return func(o *options) { o.seed = seed }
+}
+
+// System is one Lemur instance over the paper's rack-scale testbed topology
+// (a Tofino-class ToR plus Xeon NF servers).
+type System struct {
+	sys *core.System
+}
+
+// New builds a System over the paper's testbed, customized by options.
+func New(opts ...Option) *System {
+	o := &options{scheme: placer.SchemeLemur, seed: 1}
+	for _, opt := range opts {
+		opt(o)
+	}
+	sys := core.NewSystem(hw.NewPaperTestbed(o.topoOpts...))
+	sys.Scheme = o.scheme
+	sys.Restrict = o.restrict
+	sys.Seed = o.seed
+	return &System{sys: sys}
+}
+
+// LoadSpec parses NF chain specification text (see the nfspec language in
+// README) and adds its chains to the system.
+func (s *System) LoadSpec(src string) error { return s.sys.LoadSpec(src) }
+
+// Place runs the placement algorithm and returns the outcome. An
+// infeasible placement is not an error: inspect Placement.Feasible and
+// Placement.Reason.
+func (s *System) Place() (*Placement, error) {
+	res, err := s.sys.Place()
+	if err != nil {
+		return nil, err
+	}
+	return &Placement{sys: s.sys, res: res}, nil
+}
+
+// Deploy compiles the placement (running Place first if needed) and stands
+// up the simulated cross-platform testbed.
+func (s *System) Deploy() (*Deployment, error) {
+	tb, err := s.sys.Deploy()
+	if err != nil {
+		return nil, err
+	}
+	d, _ := s.sys.Compile() // already cached by Deploy
+	return &Deployment{tb: tb, dep: d}, nil
+}
+
+// Placement reports where every NF landed and what the chains will get.
+type Placement struct {
+	sys *core.System
+	res *placer.Result
+}
+
+// Feasible reports whether every SLO can be met.
+func (p *Placement) Feasible() bool { return p.res.Feasible }
+
+// Reason explains an infeasible placement.
+func (p *Placement) Reason() string { return p.res.Reason }
+
+// Stages is the PISA pipeline depth the placement compiled to.
+func (p *Placement) Stages() int { return p.res.Stages }
+
+// MarginalBps is the aggregate marginal throughput (Σ rate−t_min).
+func (p *Placement) MarginalBps() float64 { return p.res.Marginal }
+
+// ChainRatesBps returns the LP-assigned per-chain rates.
+func (p *Placement) ChainRatesBps() []float64 {
+	return append([]float64(nil), p.res.ChainRates...)
+}
+
+// NFPlacement is one row of the placement report.
+type NFPlacement struct {
+	Chain    string
+	NF       string
+	Class    string
+	Platform string // "server", "pisa", "smartnic", "openflow"
+	Device   string
+}
+
+// Assignments lists every NF's placement, ordered by chain then topology.
+func (p *Placement) Assignments() []NFPlacement {
+	var out []NFPlacement
+	for _, g := range p.sys.Graphs() {
+		for _, n := range g.Order {
+			if a, ok := p.res.Assign[n]; ok {
+				out = append(out, NFPlacement{
+					Chain:    g.Chain.Name,
+					NF:       n.Name(),
+					Class:    n.Class(),
+					Platform: a.Platform.String(),
+					Device:   a.Device,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// SubgroupInfo is one server run-to-completion group with its cores.
+type SubgroupInfo struct {
+	Chain  string
+	NFs    []string
+	Server string
+	Cores  int
+}
+
+// Subgroups lists the server subgroups and their core allocations.
+func (p *Placement) Subgroups() []SubgroupInfo {
+	var out []SubgroupInfo
+	graphs := p.sys.Graphs()
+	for _, sg := range p.res.Subgroups {
+		info := SubgroupInfo{Server: sg.Server, Cores: sg.Cores}
+		if sg.ChainIdx < len(graphs) {
+			info.Chain = graphs[sg.ChainIdx].Chain.Name
+		}
+		for _, n := range sg.Nodes {
+			info.NFs = append(info.NFs, n.Name())
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// Summary renders a human-readable placement report.
+func (p *Placement) Summary() string {
+	var b strings.Builder
+	if !p.res.Feasible {
+		fmt.Fprintf(&b, "INFEASIBLE: %s\n", p.res.Reason)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "feasible placement (%d switch stages, marginal %.2f Gbps)\n",
+		p.res.Stages, p.res.Marginal/1e9)
+	for i, g := range p.sys.Graphs() {
+		fmt.Fprintf(&b, "chain %-10s t_min %6.2f Gbps -> rate %6.2f Gbps\n",
+			g.Chain.Name, g.Chain.SLO.TMinBps/1e9, p.res.ChainRates[i]/1e9)
+	}
+	rows := p.Assignments()
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].Chain < rows[j].Chain })
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-10s %-8s (%-11s) -> %-8s %s\n", r.Chain, r.NF, r.Class, r.Platform, r.Device)
+	}
+	for _, sg := range p.Subgroups() {
+		fmt.Fprintf(&b, "  subgroup [%s] on %s: %d core(s)\n",
+			strings.Join(sg.NFs, " -> "), sg.Server, sg.Cores)
+	}
+	return b.String()
+}
+
+// Deployment is a live, compiled cross-platform installation.
+type Deployment struct {
+	tb  *runtime.Testbed
+	dep *metacompiler.Deployment
+}
+
+// TrafficReport summarizes a packet-walk verification.
+type TrafficReport struct {
+	Injected, Egressed, Dropped int
+}
+
+// SendPackets generates n frames per chain and walks each through the full
+// switch/server/NIC path, returning drop/egress accounting. It errors if
+// steering ever wedges.
+func (d *Deployment) SendPackets(n int) (*TrafficReport, error) {
+	stats, err := d.tb.Verify(n)
+	if err != nil {
+		return nil, err
+	}
+	return &TrafficReport{Injected: stats.Injected, Egressed: stats.Egressed, Dropped: stats.Dropped}, nil
+}
+
+// Measurement reports achieved rates.
+type Measurement struct {
+	RatesBps        []float64
+	AggregateBps    float64
+	WorstLatencySec []float64
+}
+
+// Measure drives each chain at its placed rate and reports what the
+// testbed actually achieves.
+func (d *Deployment) Measure() (*Measurement, error) {
+	m, err := d.tb.Measure(d.dep.Result.ChainRates)
+	if err != nil {
+		return nil, err
+	}
+	return &Measurement{RatesBps: m.Rates, AggregateBps: m.Aggregate, WorstLatencySec: m.WorstLatencySec}, nil
+}
+
+// P4Source returns the generated unified switch program.
+func (d *Deployment) P4Source() string { return d.dep.Artifacts.P4Source }
+
+// BESSScripts returns the generated per-server pipeline scripts.
+func (d *Deployment) BESSScripts() map[string]string {
+	out := map[string]string{}
+	for k, v := range d.dep.Artifacts.BESSScripts {
+		out[k] = v
+	}
+	return out
+}
+
+// EBPFSources returns the generated SmartNIC XDP programs.
+func (d *Deployment) EBPFSources() map[string]string {
+	out := map[string]string{}
+	for k, v := range d.dep.Artifacts.EBPFSources {
+		out[k] = v
+	}
+	return out
+}
+
+// AutoGeneratedShare is the fraction of deployment P4 code the
+// meta-compiler generated (vs hand-written NF implementations).
+func (d *Deployment) AutoGeneratedShare() float64 {
+	return d.dep.Artifacts.AutoGeneratedShare()
+}
+
+// SimReport summarizes a discrete-time simulation run: per-chain goodput,
+// loss, and mean queueing delay at server subgroups.
+type SimReport struct {
+	AchievedBps      []float64
+	DropRate         []float64
+	AvgQueueDelaySec []float64
+}
+
+// Simulate runs the discrete-time packet simulator with every chain
+// offering loadFactor × its placed rate (1.0 = the planned operating point;
+// >1 provokes queueing and drops). Unlike Measure's steady-state law, this
+// walks individual frames through bounded queues with per-core cycle
+// budgets, exposing drop onset and latency inflation under overload.
+func (d *Deployment) Simulate(loadFactor float64) (*SimReport, error) {
+	offered := make([]float64, len(d.dep.Result.ChainRates))
+	for i, r := range d.dep.Result.ChainRates {
+		offered[i] = r * loadFactor
+	}
+	sim, err := d.tb.Simulate(offered, runtime.SimConfig{Seed: d.tb.Seed, DurationSec: 0.5})
+	if err != nil {
+		return nil, err
+	}
+	return &SimReport{
+		AchievedBps:      sim.AchievedBps,
+		DropRate:         sim.DropRate,
+		AvgQueueDelaySec: sim.AvgQueueDelaySec,
+	}, nil
+}
