@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# CI gate: vet, build, then the full test suite under the race detector.
+# Run from the repo root. Any failure fails the script.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "ci: all checks passed"

@@ -22,6 +22,7 @@ import (
 	"lemur/internal/experiments"
 	"lemur/internal/hw"
 	"lemur/internal/nf"
+	"lemur/internal/obs"
 	"lemur/internal/placer"
 )
 
@@ -37,8 +38,16 @@ func main() {
 		feasibility = flag.Bool("feasibility", false, "feasibility summary across all sets")
 		quick       = flag.Bool("quick", false, "coarser δ grid, smaller budgets")
 		runs        = flag.Int("runs", 500, "profiling runs for -table 4")
+		metrics     = flag.String("metrics-out", "", "write a metrics snapshot to this JSON path (plus .prom alongside)")
 	)
 	flag.Parse()
+	if *metrics != "" {
+		obs.Enable()
+		metricsPath = *metrics
+		// Walk real frames through every deployment so the per-platform
+		// packet counters in the snapshot are live, not zero.
+		experiments.DefaultVerifyPackets = 100
+	}
 
 	deltas := experiments.DefaultDeltas()
 	if *quick {
@@ -68,10 +77,29 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	writeMetrics()
+}
+
+// metricsPath is the -metrics-out destination ("" = disabled). Written via
+// an explicit call at every exit point because fatal/os.Exit skip defers.
+var metricsPath string
+
+func writeMetrics() {
+	if metricsPath == "" {
+		return
+	}
+	if err := obs.Default().WriteFiles(metricsPath); err != nil {
+		// The caller explicitly asked for this file; failing to produce it
+		// must not look like success.
+		fmt.Fprintln(os.Stderr, "lemur-bench: metrics:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", metricsPath)
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "lemur-bench:", err)
+	writeMetrics()
 	os.Exit(1)
 }
 

@@ -17,6 +17,7 @@ import (
 	"lemur/internal/hw"
 	"lemur/internal/nf"
 	"lemur/internal/nsh"
+	"lemur/internal/obs"
 	"lemur/internal/packet"
 )
 
@@ -119,6 +120,11 @@ func (sg *Subgroup) CapacityPPS(clockHz, crossSocketPenalty float64) float64 {
 	return sg.TotalCores() * clockHz / c
 }
 
+var (
+	mFrames = obs.C("lemur_frames_total", obs.L("platform", "server"))
+	mDrops  = obs.C("lemur_frame_drops_total", obs.L("platform", "server"))
+)
+
 // Pipeline is the per-server dataplane: demux, subgroups, mux.
 type Pipeline struct {
 	Server  *hw.ServerSpec
@@ -195,7 +201,13 @@ func (pl *Pipeline) CoreLoad() map[int]float64 {
 // subgroup's NFs run to completion, and the mux re-encapsulates with the
 // advanced (or branch-retagged) service index. The returned frame goes back
 // to the ToR. A nil frame with nil error means the chain dropped the packet.
-func (pl *Pipeline) ProcessFrame(frame []byte, env *nf.Env) ([]byte, error) {
+func (pl *Pipeline) ProcessFrame(frame []byte, env *nf.Env) (out []byte, rerr error) {
+	mFrames.Inc()
+	defer func() {
+		if out == nil {
+			mDrops.Inc()
+		}
+	}()
 	inner, spi, si, err := nsh.Decap(frame)
 	if err != nil {
 		return nil, fmt.Errorf("bess: demux: %w", err)

@@ -106,7 +106,13 @@ func Figure3b(deltas []float64, seed int64) ([]Figure3bResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			m, err := MeasureAchieved(runtime.New(dpl, seed), in, res)
+			tb := runtime.New(dpl, seed)
+			if withNIC.VerifyPackets > 0 {
+				if _, err := tb.Verify(withNIC.VerifyPackets); err != nil {
+					return nil, err
+				}
+			}
+			m, err := MeasureAchieved(tb, in, res)
 			if err != nil {
 				return nil, err
 			}

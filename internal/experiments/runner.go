@@ -35,6 +35,12 @@ type Runner struct {
 	BruteForceBudget int
 }
 
+// DefaultVerifyPackets seeds every new Runner's VerifyPackets. Commands set
+// it (cmd/lemur-bench --metrics-out) so experiment helpers that build their
+// own internal runners still walk real frames and populate the per-platform
+// packet counters.
+var DefaultVerifyPackets int
+
 // NewRunner returns a runner with the paper's defaults on the given
 // topology.
 func NewRunner(topo *hw.Topology) *Runner {
@@ -44,6 +50,7 @@ func NewRunner(topo *hw.Topology) *Runner {
 		Seed:             1,
 		TMaxBps:          hw.Gbps(100),
 		BruteForceBudget: 2000,
+		VerifyPackets:    DefaultVerifyPackets,
 	}
 }
 

@@ -29,10 +29,12 @@ type Problem struct {
 	B []float64   // right-hand sides, length m
 }
 
-// Solution is an optimal point.
+// Solution is an optimal point. Iterations counts simplex pivots across both
+// phases — a cheap proxy for how hard the instance was.
 type Solution struct {
-	X     []float64
-	Value float64
+	X          []float64
+	Value      float64
+	Iterations int
 }
 
 const (
@@ -57,9 +59,10 @@ func (p *Problem) Validate() error {
 // tableau holds the simplex working state: rows = constraints, cols =
 // structural + slack + artificial variables, plus RHS column.
 type tableau struct {
-	a     [][]float64 // m x (ncols+1), last column is RHS
-	basis []int       // basic variable per row
-	ncols int
+	a      [][]float64 // m x (ncols+1), last column is RHS
+	basis  []int       // basic variable per row
+	ncols  int
+	pivots int
 }
 
 // Solve finds an optimal solution via two-phase simplex with Bland's rule.
@@ -167,7 +170,7 @@ func Solve(p Problem) (Solution, error) {
 		}
 	}
 
-	sol := Solution{X: make([]float64, n)}
+	sol := Solution{X: make([]float64, n), Iterations: t.pivots}
 	for i, b := range t.basis {
 		if b < n {
 			sol.X[b] = t.a[i][ncols]
@@ -248,6 +251,7 @@ func (t *tableau) optimize(obj []float64, banned []bool) (float64, error) {
 
 // pivot makes column enter basic in row r.
 func (t *tableau) pivot(r, enter int) {
+	t.pivots++
 	m, ncols := len(t.a), t.ncols
 	pv := t.a[r][enter]
 	row := t.a[r]

@@ -16,6 +16,7 @@ import (
 	"lemur/internal/hw"
 	"lemur/internal/nf"
 	"lemur/internal/nfgraph"
+	"lemur/internal/obs"
 	"lemur/internal/pisa"
 	"lemur/internal/placer"
 	"lemur/internal/smartnic"
@@ -53,6 +54,7 @@ func Compile(in *placer.Input, res *placer.Result) (*Deployment, error) {
 	if !res.Feasible {
 		return nil, fmt.Errorf("metacompiler: placement is infeasible: %s", res.Reason)
 	}
+	sp := obs.Span("metacompiler.compile").SetAttrInt("chains", len(in.Chains))
 	d := &Deployment{
 		Input:      in,
 		Result:     res,
@@ -95,6 +97,16 @@ func Compile(in *placer.Input, res *placer.Result) (*Deployment, error) {
 	if err := d.generateArtifacts(); err != nil {
 		return nil, err
 	}
+	a := d.Artifacts
+	obs.C("lemur_compiles_total").Inc()
+	obs.G("lemur_compile_lines", obs.L("kind", "p4")).Set(float64(a.P4TotalLines))
+	obs.G("lemur_compile_lines", obs.L("kind", "p4_handwritten")).Set(float64(a.HandwrittenP4Lines))
+	obs.G("lemur_compile_lines", obs.L("kind", "bess")).Set(float64(a.BESSLines))
+	obs.G("lemur_compile_lines", obs.L("kind", "ebpf")).Set(float64(a.EBPFLines))
+	sp.SetAttrInt("bess_scripts", len(a.BESSScripts)).
+		SetAttrInt("ebpf_sources", len(a.EBPFSources)).
+		SetAttrInt("p4_lines", a.P4TotalLines).
+		End()
 	return d, nil
 }
 

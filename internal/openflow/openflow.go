@@ -13,7 +13,13 @@ import (
 	"lemur/internal/hw"
 	"lemur/internal/nf"
 	"lemur/internal/nsh"
+	"lemur/internal/obs"
 	"lemur/internal/packet"
+)
+
+var (
+	mFrames = obs.C("lemur_frames_total", obs.L("platform", "openflow"))
+	mDrops  = obs.C("lemur_frame_drops_total", obs.L("platform", "openflow"))
 )
 
 // Deployment errors.
@@ -106,8 +112,14 @@ func (s *Switch) RulesUsed() int { return s.used }
 
 // ProcessFrame runs one VLAN-tagged frame through the pipeline. A nil frame
 // with nil error is a drop.
-func (s *Switch) ProcessFrame(frame []byte, env *nf.Env) ([]byte, error) {
+func (s *Switch) ProcessFrame(frame []byte, env *nf.Env) (out []byte, rerr error) {
 	s.InFrames++
+	mFrames.Inc()
+	defer func() {
+		if out == nil {
+			mDrops.Inc()
+		}
+	}()
 	var p packet.Packet
 	if err := p.Decode(frame); err != nil {
 		return nil, fmt.Errorf("openflow: %w", err)

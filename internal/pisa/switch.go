@@ -8,7 +8,13 @@ import (
 	"lemur/internal/hw"
 	"lemur/internal/nf"
 	"lemur/internal/nsh"
+	"lemur/internal/obs"
 	"lemur/internal/packet"
+)
+
+var (
+	mFrames = obs.C("lemur_frames_total", obs.L("platform", "pisa"))
+	mDrops  = obs.C("lemur_frame_drops_total", obs.L("platform", "pisa"))
 )
 
 // PortKind classifies where the switch forwards a frame next.
@@ -149,8 +155,14 @@ var ErrNoPath = errors.New("pisa: no service path for frame")
 // ProcessFrame runs one frame through the switch pipeline and returns the
 // possibly-rewritten frame plus the forwarding decision. env supplies
 // simulated time for any switch-resident NFs that need it.
-func (s *Switch) ProcessFrame(frame []byte, env *nf.Env) ([]byte, Forward, error) {
+func (s *Switch) ProcessFrame(frame []byte, env *nf.Env) (out []byte, fwd Forward, err error) {
 	s.InFrames++
+	mFrames.Inc()
+	defer func() {
+		if fwd.Kind == Dropped {
+			mDrops.Inc()
+		}
+	}()
 	var spi uint32
 	var si uint8
 	tagged := false

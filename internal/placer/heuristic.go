@@ -148,6 +148,7 @@ func evictUntilFits(in *Input, base map[*nfgraph.Node]Assign) (map[*nfgraph.Node
 			return nil, false, reason
 		}
 		assign[victim] = Assign{Platform: hw.Server}
+		mEvictions.Inc()
 	}
 }
 
@@ -253,6 +254,7 @@ func applyCoalescing(in *Input, assign map[*nfgraph.Node]Assign, mode coalesceMo
 			}
 			if apply {
 				out[b.node] = Assign{Platform: hw.Server}
+				mCoalesceMoves.Inc()
 				moved = true
 				break // recompute bridges after each move
 			}

@@ -1,0 +1,15 @@
+package placer
+
+import "lemur/internal/obs"
+
+// Hoisted metric handles: each update is one atomic branch plus one atomic
+// add, so the heuristic's inner loops stay wired unconditionally.
+var (
+	mStageCheckOK   = obs.C("lemur_placer_stagecheck_total", obs.L("verdict", "ok"))
+	mStageCheckFail = obs.C("lemur_placer_stagecheck_total", obs.L("verdict", "fail"))
+	mCoalesceMoves  = obs.C("lemur_placer_coalesce_moves_total")
+	mEvictions      = obs.C("lemur_placer_evictions_total")
+	mLPSolves       = obs.C("lemur_placer_lp_solves_total")
+	mLPIterations   = obs.H("lemur_placer_lp_iterations")
+	mLPObjective    = obs.H("lemur_placer_lp_objective_bps")
+)

@@ -22,6 +22,7 @@ import (
 
 	"lemur/internal/hw"
 	"lemur/internal/nfgraph"
+	"lemur/internal/obs"
 	"lemur/internal/profile"
 )
 
@@ -171,6 +172,9 @@ func Place(scheme Scheme, in *Input) (*Result, error) {
 		return nil, err
 	}
 	start := time.Now()
+	sp := obs.Span("placer.place").
+		SetAttr("scheme", string(scheme)).
+		SetAttrInt("chains", len(in.Chains))
 	var (
 		res *Result
 		err error
@@ -200,10 +204,22 @@ func Place(scheme Scheme, in *Input) (*Result, error) {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownScheme, scheme)
 	}
 	if err != nil {
+		sp.SetAttr("error", err.Error()).End()
 		return nil, err
 	}
 	res.Scheme = scheme
 	res.PlaceTime = time.Since(start)
+	outcome := "feasible"
+	if !res.Feasible {
+		outcome = "infeasible"
+	}
+	obs.C("lemur_placer_placements_total",
+		obs.L("scheme", string(scheme)), obs.L("outcome", outcome)).Inc()
+	sp.SetAttrBool("feasible", res.Feasible).
+		SetAttrInt("stages", res.Stages).
+		SetAttrFloat("marginal_bps", res.Marginal).
+		SetAttrFloat("aggregate_bps", res.PredictedAggregate).
+		End()
 	return res, nil
 }
 

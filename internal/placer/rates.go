@@ -132,9 +132,12 @@ func solveRates(in *Input, res *Result) (string, bool) {
 	}
 
 	sol, err := lp.Solve(prob)
+	mLPSolves.Inc()
 	if err != nil {
 		return fmt.Sprintf("rate LP: %v", err), false
 	}
+	mLPIterations.Observe(float64(sol.Iterations))
+	mLPObjective.Observe(sol.Value)
 	res.ChainRates = make([]float64, n)
 	res.Marginal = sol.Value
 	for i := range res.ChainRates {

@@ -1,0 +1,103 @@
+package placer
+
+import (
+	"math/rand"
+	"testing"
+
+	"lemur/internal/hw"
+	"lemur/internal/nfgraph"
+	"lemur/internal/nfspec"
+	"lemur/internal/profile"
+)
+
+// randomTopology draws one of the evaluation rack shapes: 1-3 servers,
+// optionally single-socket, optionally with a SmartNIC and/or OpenFlow
+// switch attached.
+func randomTopology(rng *rand.Rand) *hw.Topology {
+	var opts []hw.TestbedOption
+	if n := 1 + rng.Intn(3); n > 1 {
+		opts = append(opts, hw.WithServers(n))
+	}
+	if rng.Intn(2) == 0 {
+		opts = append(opts, hw.WithSingleSocket())
+	}
+	if rng.Intn(2) == 0 {
+		opts = append(opts, hw.WithSmartNIC())
+	}
+	if rng.Intn(4) == 0 {
+		opts = append(opts, hw.WithOpenFlowSwitch())
+	}
+	return hw.NewPaperTestbed(opts...)
+}
+
+// TestAllSchemesInvariants runs EVERY scheme in Schemes() — including
+// Optimal, on a reduced brute-force budget — over randomized topologies and
+// chain sets, and asserts the §3.1 feasibility invariants on every feasible
+// result: no admitted chain below t_min, per-server core allocations within
+// capacity, and PISA placements inside the 12-stage budget (all via
+// checkInvariants, shared with the property test in invariants_test.go).
+func TestAllSchemesInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(424242))
+	schemes := Schemes()
+	for trial := 0; trial < 12; trial++ {
+		topo := randomTopology(rng)
+		nChains := 1 + rng.Intn(2)
+		src := ""
+		for c := 0; c < nChains; c++ {
+			src += randomChainSpec(rng, c)
+		}
+		chains, err := nfspec.Parse(src)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		in := &Input{
+			Topo: topo, DB: profile.DefaultDB(), Restrict: evalRestrict,
+			// Keep Optimal's enumeration tractable for a 12-trial sweep.
+			BruteForceBudget: 250,
+		}
+		for _, ch := range chains {
+			g, err := nfgraph.Build(ch)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			in.Chains = append(in.Chains, g)
+		}
+		feasibleSomewhere := false
+		for _, scheme := range schemes {
+			res, err := Place(scheme, in)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, scheme, err)
+			}
+			if res.Scheme != scheme {
+				t.Errorf("trial %d: result labelled %s, want %s", trial, res.Scheme, scheme)
+			}
+			if !res.Feasible {
+				if res.Reason == "" {
+					t.Errorf("trial %d %s: infeasible without a reason", trial, scheme)
+				}
+				continue
+			}
+			feasibleSomewhere = true
+			checkInvariants(t, trial, scheme, in, res)
+		}
+		_ = feasibleSomewhere // some random sets are legitimately unplaceable
+	}
+}
+
+// TestSchemesListComplete pins Schemes() to the evaluation set so a scheme
+// added to the dispatch table does not silently escape the invariant sweep.
+func TestSchemesListComplete(t *testing.T) {
+	want := map[Scheme]bool{
+		SchemeLemur: true, SchemeOptimal: true, SchemeHWPreferred: true,
+		SchemeSWPreferred: true, SchemeMinBounce: true, SchemeGreedy: true,
+	}
+	got := Schemes()
+	if len(got) != len(want) {
+		t.Fatalf("Schemes() has %d entries, want %d", len(got), len(want))
+	}
+	for _, s := range got {
+		if !want[s] {
+			t.Errorf("unexpected scheme %s in Schemes()", s)
+		}
+	}
+}

@@ -133,8 +133,10 @@ func stageCheck(in *Input, res *Result) (string, bool) {
 		res.Stages = bin.Stages
 	}
 	if err != nil {
+		mStageCheckFail.Inc()
 		return fmt.Sprintf("pisa: %v", err), false
 	}
+	mStageCheckOK.Inc()
 	return "", true
 }
 

@@ -22,6 +22,7 @@ import (
 	"lemur/internal/hw"
 	"lemur/internal/metacompiler"
 	"lemur/internal/nf"
+	"lemur/internal/obs"
 	"lemur/internal/packet"
 	"lemur/internal/pisa"
 	"lemur/internal/placer"
@@ -62,7 +63,19 @@ const maxWalkHops = 64
 // full cross-platform path, checking that chains terminate (egress or
 // explicit drop) and that steering never wedges.
 func (tb *Testbed) Verify(n int) (*WalkStats, error) {
+	sp := obs.Span("runtime.verify").SetAttrInt("frames_per_chain", n)
 	stats := &WalkStats{ByChain: make([]ChainWalk, len(tb.D.Input.Chains))}
+	defer func() {
+		obs.C("lemur_verify_injected_total").Add(uint64(stats.Injected))
+		obs.C("lemur_verify_egressed_total").Add(uint64(stats.Egressed))
+		obs.C("lemur_verify_dropped_total").Add(uint64(stats.Dropped))
+		obs.C("lemur_verify_errors_total").Add(uint64(stats.Errors))
+		sp.SetAttrInt("injected", stats.Injected).
+			SetAttrInt("egressed", stats.Egressed).
+			SetAttrInt("dropped", stats.Dropped).
+			SetAttrInt("errors", stats.Errors).
+			End()
+	}()
 	env := &nf.Env{Rand: rand.New(rand.NewSource(tb.Seed))}
 	for ci, g := range tb.D.Input.Chains {
 		agg := g.Chain.Aggregate

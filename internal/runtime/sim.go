@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
 
 	"lemur/internal/bess"
 	"lemur/internal/nf"
 	"lemur/internal/nsh"
+	"lemur/internal/obs"
 	"lemur/internal/pisa"
 	"lemur/internal/profile"
 	"lemur/internal/trafficgen"
@@ -97,16 +99,23 @@ func (tb *Testbed) Simulate(offered []float64, cfg SimConfig) (*SimResult, error
 
 	// Realized per-packet costs and budgets, keyed by *primary* subgroup
 	// (aliases — merge suffixes installed under sibling SPIs — resolve to
-	// their primary so budgets are not double-counted). Iteration order is
-	// fixed by sorting for determinism.
+	// their primary so budgets are not double-counted). SubgroupOf is a map,
+	// so primaries are collected and sorted *before* any rng draw: otherwise
+	// map-iteration order would hand each subgroup a different random cost
+	// from run to run and break seeded reproducibility.
 	costOf := map[*bess.Subgroup]float64{}
 	budgetOf := map[*bess.Subgroup]float64{}
 	queues := map[*bess.Subgroup][]*simPacket{}
 	var primaries []*bess.Subgroup
-	for sub, psg := range tb.D.SubgroupOf {
+	for sub := range tb.D.SubgroupOf {
 		if len(sub.Shares) == 0 {
 			continue // alias
 		}
+		primaries = append(primaries, sub)
+	}
+	sort.Slice(primaries, func(i, j int) bool { return primaries[i].Name < primaries[j].Name })
+	for _, sub := range primaries {
+		psg := tb.D.SubgroupOf[sub]
 		srv, err := in.Topo.ServerByName(psg.Server)
 		if err != nil {
 			return nil, err
@@ -122,9 +131,33 @@ func (tb *Testbed) Simulate(offered []float64, cfg SimConfig) (*SimResult, error
 		}
 		costOf[sub] = cost
 		budgetOf[sub] = float64(psg.Cores) * srv.ClockHz * cfg.StepSec / cfg.Scale
-		primaries = append(primaries, sub)
 	}
-	sort.Slice(primaries, func(i, j int) bool { return primaries[i].Name < primaries[j].Name })
+
+	// Per-subgroup and per-core metric handles, hoisted so the step loop
+	// pays one atomic branch per observation. Handle slices are indexed in
+	// primaries (sorted) order, keeping observation order — and therefore
+	// histogram float sums — deterministic for a fixed seed.
+	qDepthH := make([]*obs.Histogram, len(primaries))
+	qDelayH := make([]*obs.Histogram, len(primaries))
+	coreUtilH := make([][]*obs.Histogram, len(primaries))
+	for i, sub := range primaries {
+		psg := tb.D.SubgroupOf[sub]
+		qDepthH[i] = obs.H("lemur_sim_queue_depth", obs.L("subgroup", psg.Name()))
+		qDelayH[i] = obs.H("lemur_sim_queue_delay_seconds", obs.L("subgroup", psg.Name()))
+		for _, cs := range tb.D.Shares[psg] {
+			coreUtilH[i] = append(coreUtilH[i], obs.H("lemur_bess_core_utilization",
+				obs.L("server", psg.Server), obs.L("core", strconv.Itoa(cs.Core))))
+		}
+	}
+	injC := make([]*obs.Counter, len(offered))
+	egrC := make([]*obs.Counter, len(offered))
+	drpC := make([]*obs.Counter, len(offered))
+	for ci := range offered {
+		lbl := obs.L("chain", strconv.Itoa(ci))
+		injC[ci] = obs.C("lemur_sim_injected_total", lbl)
+		egrC[ci] = obs.C("lemur_sim_egressed_total", lbl)
+		drpC[ci] = obs.C("lemur_sim_dropped_total", lbl)
+	}
 
 	res := &SimResult{
 		OfferedBps:       append([]float64(nil), offered...),
@@ -135,6 +168,10 @@ func (tb *Testbed) Simulate(offered []float64, cfg SimConfig) (*SimResult, error
 		Egressed:         make([]int, len(offered)),
 	}
 	dropped := make([]int, len(offered))
+	drop := func(ci int) {
+		dropped[ci]++
+		drpC[ci].Inc()
+	}
 	queueDelay := make([]float64, len(offered))
 	delaySamples := make([][]float64, len(offered))
 	frameBits := in.FrameBitsOrDefault()
@@ -155,11 +192,12 @@ func (tb *Testbed) Simulate(offered []float64, cfg SimConfig) (*SimResult, error
 			switch fwd.Kind {
 			case pisa.Egress:
 				res.Egressed[p.chain]++
+				egrC[p.chain].Inc()
 				queueDelay[p.chain] += p.queuedSec
 				delaySamples[p.chain] = append(delaySamples[p.chain], p.queuedSec)
 				return false, nil
 			case pisa.Dropped:
-				dropped[p.chain]++
+				drop(p.chain)
 				return false, nil
 			case pisa.Continue:
 				frame = out
@@ -186,7 +224,7 @@ func (tb *Testbed) Simulate(offered []float64, cfg SimConfig) (*SimResult, error
 					// Out of budget this step: park the packet.
 					q := queues[prim]
 					if len(q) >= cfg.QueueCap {
-						dropped[p.chain]++
+						drop(p.chain)
 						return false, nil
 					}
 					p.frame = out
@@ -199,7 +237,7 @@ func (tb *Testbed) Simulate(offered []float64, cfg SimConfig) (*SimResult, error
 					return false, perr
 				}
 				if next == nil {
-					dropped[p.chain]++
+					drop(p.chain)
 					return false, nil
 				}
 				frame = next
@@ -213,7 +251,7 @@ func (tb *Testbed) Simulate(offered []float64, cfg SimConfig) (*SimResult, error
 					return false, perr
 				}
 				if next == nil {
-					dropped[p.chain]++
+					drop(p.chain)
 					return false, nil
 				}
 				frame = next
@@ -221,7 +259,7 @@ func (tb *Testbed) Simulate(offered []float64, cfg SimConfig) (*SimResult, error
 				return false, fmt.Errorf("runtime: unsupported forward %v", fwd.Kind)
 			}
 		}
-		dropped[p.chain]++
+		drop(p.chain)
 		return false, nil
 	}
 
@@ -232,7 +270,7 @@ func (tb *Testbed) Simulate(offered []float64, cfg SimConfig) (*SimResult, error
 			return false, perr
 		}
 		if next == nil {
-			dropped[p.chain]++
+			drop(p.chain)
 			return false, nil
 		}
 		p.frame = next
@@ -252,9 +290,15 @@ func (tb *Testbed) Simulate(offered []float64, cfg SimConfig) (*SimResult, error
 			}
 			credit[sub] = c
 		}
+		// Step-start credit, to derive how much of each budget this step spends.
+		stepCredit := make([]float64, len(primaries))
+		for pi, sub := range primaries {
+			stepCredit[pi] = credit[sub]
+		}
 		// Drain queues first (FIFO), oldest packets retain their wait time.
-		for _, sub := range primaries {
+		for pi, sub := range primaries {
 			q := queues[sub]
+			qDepthH[pi].Observe(float64(len(q)))
 			if len(q) == 0 {
 				continue
 			}
@@ -267,6 +311,7 @@ func (tb *Testbed) Simulate(offered []float64, cfg SimConfig) (*SimResult, error
 				}
 				credit[sub] -= cost
 				p.queuedSec += now - p.bornSec // approximation: waited since arrival
+				qDelayH[pi].Observe(p.queuedSec)
 				if _, err := resume(p, pl, now, credit); err != nil {
 					return nil, err
 				}
@@ -283,10 +328,23 @@ func (tb *Testbed) Simulate(offered []float64, cfg SimConfig) (*SimResult, error
 				acc[ci]--
 				pkt := gens[ci].Next(now)
 				res.Injected[ci]++
+				injC[ci].Inc()
 				p := &simPacket{chain: ci, frame: pkt.Data, bornSec: now}
 				if _, err := advance(p, now, credit); err != nil {
 					return nil, err
 				}
+			}
+		}
+		// Per-core cycle-budget utilization this step: the fraction of the
+		// step's credit (budget plus bounded carry-over) actually consumed.
+		// Cores of one subgroup share uniformly, so they record the same value.
+		for pi, sub := range primaries {
+			if stepCredit[pi] <= 0 {
+				continue
+			}
+			util := (stepCredit[pi] - credit[sub]) / stepCredit[pi]
+			for _, h := range coreUtilH[pi] {
+				h.Observe(util)
 			}
 		}
 	}

@@ -7,7 +7,13 @@ import (
 	"lemur/internal/hw"
 	"lemur/internal/nf"
 	"lemur/internal/nsh"
+	"lemur/internal/obs"
 	"lemur/internal/packet"
+)
+
+var (
+	mFrames = obs.C("lemur_frames_total", obs.L("platform", "smartnic"))
+	mDrops  = obs.C("lemur_frame_drops_total", obs.L("platform", "smartnic"))
 )
 
 // PathProgram is the NIC-side program for one (SPI, SI) point: the verified
@@ -64,8 +70,14 @@ func (n *NIC) CapacityPPS(serverClockHz, worstCycles float64) float64 {
 
 // ProcessFrame runs one NSH-tagged frame through the NIC: XDP program, NF
 // bodies, SI advance. A nil frame with nil error is a drop.
-func (n *NIC) ProcessFrame(frame []byte, env *nf.Env) ([]byte, error) {
+func (n *NIC) ProcessFrame(frame []byte, env *nf.Env) (out []byte, rerr error) {
 	n.InFrames++
+	mFrames.Inc()
+	defer func() {
+		if out == nil {
+			mDrops.Inc()
+		}
+	}()
 	inner, spi, si, err := nsh.Decap(frame)
 	if err != nil {
 		return nil, fmt.Errorf("smartnic: %w", err)
