@@ -14,6 +14,7 @@ import (
 
 	"lemur/internal/experiments"
 	"lemur/internal/hw"
+	"lemur/internal/pisa"
 	"lemur/internal/placer"
 )
 
@@ -255,6 +256,36 @@ func BenchmarkPlacerBruteForce(b *testing.B) {
 		}
 	}
 }
+
+// benchPlace is the placement-only micro-benchmark core: four-chain set,
+// δ=0.5, no testbed measurement, allocation accounting on, plus the shared
+// PISA compile-cache hit rate as a custom metric.
+func benchPlace(b *testing.B, scheme placer.Scheme, parallel int) {
+	b.Helper()
+	r := experiments.NewRunner(hw.NewPaperTestbed())
+	r.SkipMeasure = true
+	r.BruteForceBudget = 2000
+	r.Parallel = parallel
+	pisa.SharedCache().Reset()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sr, _, err := r.RunSet([]int{1, 2, 3, 4}, 0.5, scheme)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !sr.Feasible {
+			b.Fatalf("infeasible: %s", sr.Reason)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(pisa.SharedCache().Stats().HitRate()*100, "cache-hit-pct")
+}
+
+func BenchmarkPlaceLemur(b *testing.B)           { benchPlace(b, placer.SchemeLemur, 1) }
+func BenchmarkPlaceLemurParallel(b *testing.B)   { benchPlace(b, placer.SchemeLemur, 4) }
+func BenchmarkPlaceOptimal(b *testing.B)         { benchPlace(b, placer.SchemeOptimal, 1) }
+func BenchmarkPlaceOptimalParallel(b *testing.B) { benchPlace(b, placer.SchemeOptimal, 4) }
 
 func BenchmarkFeasibilitySummary(b *testing.B) {
 	r := experiments.NewRunner(hw.NewPaperTestbed())

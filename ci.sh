@@ -13,4 +13,14 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# The parallel placement engine and experiment runner get an extra race pass
+# with their property tests un-shortened (the ./... run above may cache).
+echo "==> go test -race -count=1 ./internal/placer ./internal/experiments"
+go test -race -count=1 ./internal/placer ./internal/experiments
+
+# Benchmark smoke: one iteration of each placement micro-benchmark proves the
+# bench harness (and the -bench-out path it shares) still compiles and runs.
+echo "==> benchmark smoke"
+go test -run '^$' -bench 'BenchmarkPlace(Lemur|Optimal)' -benchtime 1x -benchmem .
+
 echo "ci: all checks passed"

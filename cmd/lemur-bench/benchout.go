@@ -1,0 +1,88 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"lemur/internal/experiments"
+	"lemur/internal/hw"
+	"lemur/internal/pisa"
+	"lemur/internal/placer"
+)
+
+// benchEntry is one (scheme, δ) placement timing on the four-chain set.
+type benchEntry struct {
+	Scheme   string  `json:"scheme"`
+	Combo    []int   `json:"combo"`
+	Delta    float64 `json:"delta"`
+	Iters    int     `json:"iters"`
+	NsPerOp  int64   `json:"ns_per_op"`
+	Feasible bool    `json:"feasible"`
+}
+
+// benchReport is the -bench-out JSON document.
+type benchReport struct {
+	Parallel     int          `json:"parallel"`
+	Entries      []benchEntry `json:"entries"`
+	TotalNs      int64        `json:"total_ns"`
+	CacheHits    uint64       `json:"pisa_cache_hits"`
+	CacheMisses  uint64       `json:"pisa_cache_misses"`
+	CacheHitRate float64      `json:"pisa_cache_hit_rate"`
+}
+
+// runBenchOut sweeps placement-only timings (no testbed measurement) for
+// every scheme over the four-chain combination at the low-δ grid, and writes
+// per-cell ns/op plus the shared PISA compile-cache statistics.
+func runBenchOut(path string, parallel int) {
+	const iters = 3
+	combo := []int{1, 2, 3, 4}
+	deltas := []float64{0.5, 1.0, 1.5, 2.0}
+
+	r := experiments.NewRunner(hw.NewPaperTestbed())
+	r.SkipMeasure = true
+	r.Parallel = parallel
+
+	pisa.SharedCache().Reset()
+	report := benchReport{Parallel: parallel}
+	start := time.Now()
+	for _, scheme := range placer.Schemes() {
+		for _, d := range deltas {
+			var elapsed time.Duration
+			feasible := false
+			for it := 0; it < iters; it++ {
+				t0 := time.Now()
+				sr, _, err := r.RunSet(combo, d, scheme)
+				elapsed += time.Since(t0)
+				if err != nil {
+					fatal(err)
+				}
+				feasible = sr.Feasible
+			}
+			report.Entries = append(report.Entries, benchEntry{
+				Scheme:   string(scheme),
+				Combo:    combo,
+				Delta:    d,
+				Iters:    iters,
+				NsPerOp:  elapsed.Nanoseconds() / iters,
+				Feasible: feasible,
+			})
+		}
+	}
+	report.TotalNs = time.Since(start).Nanoseconds()
+	st := pisa.SharedCache().Stats()
+	report.CacheHits = st.Hits
+	report.CacheMisses = st.Misses
+	report.CacheHitRate = st.HitRate()
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (total %.2fs, pisa cache hit rate %.1f%%)\n",
+		path, time.Duration(report.TotalNs).Seconds(), st.HitRate()*100)
+}

@@ -39,6 +39,8 @@ func main() {
 		quick       = flag.Bool("quick", false, "coarser δ grid, smaller budgets")
 		runs        = flag.Int("runs", 500, "profiling runs for -table 4")
 		metrics     = flag.String("metrics-out", "", "write a metrics snapshot to this JSON path (plus .prom alongside)")
+		parallel    = flag.Int("parallel", 0, "worker count for experiment cells and placer candidate evaluation (0 = GOMAXPROCS cells, serial placer)")
+		benchOut    = flag.String("bench-out", "", "run the placement micro-benchmark sweep and write ns/op + cache stats to this JSON path")
 	)
 	flag.Parse()
 	if *metrics != "" {
@@ -48,6 +50,7 @@ func main() {
 		// packet counters in the snapshot are live, not zero.
 		experiments.DefaultVerifyPackets = 100
 	}
+	experiments.DefaultParallel = *parallel
 
 	deltas := experiments.DefaultDeltas()
 	if *quick {
@@ -55,6 +58,8 @@ func main() {
 	}
 
 	switch {
+	case *benchOut != "":
+		runBenchOut(*benchOut, *parallel)
 	case *figure != "":
 		runFigure(*figure, deltas, *quick)
 	case *table == "3":

@@ -25,6 +25,9 @@ type System struct {
 	Restrict map[string][]hw.Platform
 	Scheme   placer.Scheme
 	Seed     int64
+	// Parallel is the placer's candidate-evaluation worker count (<=1 =
+	// serial; results are identical at any value).
+	Parallel int
 
 	chains []*nfspec.Chain
 	graphs []*nfgraph.Graph
@@ -85,6 +88,7 @@ func (s *System) Input() (*placer.Input, error) {
 		Topo:     s.Topo,
 		DB:       s.DB,
 		Restrict: s.Restrict,
+		Parallel: s.Parallel,
 	}, nil
 }
 

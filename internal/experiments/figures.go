@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"lemur/internal/hw"
@@ -450,33 +451,72 @@ type FeasibilityCell struct {
 func (r *Runner) FeasibilitySummary(deltas []float64, schemes []placer.Scheme) ([]FeasibilityCell, map[placer.Scheme]float64, map[placer.Scheme]float64, error) {
 	r2 := *r
 	r2.SkipMeasure = true
+
+	// Cells are independent: run them concurrently into index-addressed
+	// slots, then aggregate in enumeration order so the cell list and the
+	// shares are identical to a serial sweep.
+	type job struct {
+		combo  []int
+		delta  float64
+		scheme placer.Scheme
+	}
+	var jobs []job
+	for _, combo := range Figure2Combos() {
+		for _, d := range deltas {
+			for _, s := range schemes {
+				jobs = append(jobs, job{combo, d, s})
+			}
+		}
+	}
+	feasible := make([]bool, len(jobs))
+	sem := make(chan struct{}, r.workers())
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			sr, _, err := r2.RunSet(jobs[i].combo, jobs[i].delta, jobs[i].scheme)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			feasible[i] = sr.Feasible
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, nil, nil, firstErr
+	}
+
 	var cells []FeasibilityCell
 	count := map[placer.Scheme]int{}
 	solvCount := map[placer.Scheme]int{}
 	total, solvable := 0, 0
-	for _, combo := range Figure2Combos() {
-		for _, d := range deltas {
-			total++
-			setFeasible := map[placer.Scheme]bool{}
-			any := false
-			for _, s := range schemes {
-				sr, _, err := r2.RunSet(combo, d, s)
-				if err != nil {
-					return nil, nil, nil, err
-				}
-				cells = append(cells, FeasibilityCell{Combo: combo, Delta: d, Scheme: s, Feasible: sr.Feasible})
-				setFeasible[s] = sr.Feasible
-				if sr.Feasible {
-					count[s]++
-					any = true
-				}
+	for i := 0; i < len(jobs); i += len(schemes) {
+		total++
+		any := false
+		for si, s := range schemes {
+			ok := feasible[i+si]
+			cells = append(cells, FeasibilityCell{
+				Combo: jobs[i+si].combo, Delta: jobs[i+si].delta, Scheme: s, Feasible: ok})
+			if ok {
+				count[s]++
+				any = true
 			}
-			if any {
-				solvable++
-				for s, ok := range setFeasible {
-					if ok {
-						solvCount[s]++
-					}
+		}
+		if any {
+			solvable++
+			for si, s := range schemes {
+				if feasible[i+si] {
+					solvCount[s]++
 				}
 			}
 		}

@@ -33,6 +33,13 @@ type Runner struct {
 
 	// BruteForceBudget bounds the Optimal scheme's search.
 	BruteForceBudget int
+
+	// Parallel bounds experiment-cell concurrency and is forwarded to
+	// placer.Input.Parallel so candidate evaluation inside each placement
+	// fans out too. 0 means GOMAXPROCS for cells and a serial placer —
+	// results are identical either way (the placer reduces candidates
+	// deterministically).
+	Parallel int
 }
 
 // DefaultVerifyPackets seeds every new Runner's VerifyPackets. Commands set
@@ -40,6 +47,11 @@ type Runner struct {
 // own internal runners still walk real frames and populate the per-platform
 // packet counters.
 var DefaultVerifyPackets int
+
+// DefaultParallel seeds every new Runner's Parallel. Commands set it
+// (cmd/lemur-bench -parallel) so experiment helpers that build their own
+// internal runners inherit the requested worker count.
+var DefaultParallel int
 
 // NewRunner returns a runner with the paper's defaults on the given
 // topology.
@@ -51,7 +63,16 @@ func NewRunner(topo *hw.Topology) *Runner {
 		TMaxBps:          hw.Gbps(100),
 		BruteForceBudget: 2000,
 		VerifyPackets:    DefaultVerifyPackets,
+		Parallel:         DefaultParallel,
 	}
+}
+
+// workers is the experiment-cell concurrency bound.
+func (r *Runner) workers() int {
+	if r.Parallel > 0 {
+		return r.Parallel
+	}
+	return runtimepkg.GOMAXPROCS(0)
 }
 
 // SchemeResult is one scheme's outcome on one experiment set.
@@ -95,6 +116,7 @@ func (r *Runner) input(chainIdxs []int, delta float64) (*placer.Input, *Set, err
 		DB:               r.DB,
 		Restrict:         EvalRestrict,
 		BruteForceBudget: r.BruteForceBudget,
+		Parallel:         r.Parallel,
 	}
 	return in, &Set{ChainIdxs: chainIdxs, Delta: delta, AggTmin: agg}, nil
 }
@@ -169,13 +191,13 @@ type DeltaRow struct {
 // Figure2Panel reproduces one panel of Figure 2: the δ sweep over one chain
 // combination across schemes. Cells are independent (each RunSet builds its
 // own chains, placement and deployment), so they run concurrently, bounded
-// by GOMAXPROCS.
+// by Runner.Parallel (GOMAXPROCS when unset).
 func (r *Runner) Figure2Panel(chainIdxs []int, deltas []float64, schemes []placer.Scheme) ([]DeltaRow, error) {
 	rows := make([]DeltaRow, len(deltas))
 	type cell struct {
 		di, si int
 	}
-	sem := make(chan struct{}, runtimepkg.GOMAXPROCS(0))
+	sem := make(chan struct{}, r.workers())
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Solver failure modes.
@@ -61,8 +62,59 @@ func (p *Problem) Validate() error {
 type tableau struct {
 	a      [][]float64 // m x (ncols+1), last column is RHS
 	basis  []int       // basic variable per row
+	z      []float64   // reduced-cost row buffer, length ncols+1
 	ncols  int
 	pivots int
+}
+
+// scratch is the pooled simplex working set: one flat float64 arena backing
+// every tableau row, plus the row headers and the basis / objective /
+// reduced-cost / banned-column buffers. The Placer solves thousands of small
+// LPs per placement, so these transient allocations dominate its profile;
+// pooling them makes repeat solves allocation-free apart from Solution.X
+// (which escapes to the caller and stays fresh).
+type scratch struct {
+	flat   []float64
+	rows   [][]float64
+	basis  []int
+	artOf  []int
+	obj    []float64
+	z      []float64
+	banned []bool
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// grownFloats resizes b to length n, zeroed.
+func grownFloats(b []float64, n int) []float64 {
+	if cap(b) < n {
+		return make([]float64, n)
+	}
+	b = b[:n]
+	for i := range b {
+		b[i] = 0
+	}
+	return b
+}
+
+// grownBools resizes b to length n, zeroed.
+func grownBools(b []bool, n int) []bool {
+	if cap(b) < n {
+		return make([]bool, n)
+	}
+	b = b[:n]
+	for i := range b {
+		b[i] = false
+	}
+	return b
+}
+
+// grownInts resizes b to length n without zeroing (callers fully write it).
+func grownInts(b []int, n int) []int {
+	if cap(b) < n {
+		return make([]int, n)
+	}
+	return b[:n]
 }
 
 // Solve finds an optimal solution via two-phase simplex with Bland's rule.
@@ -81,6 +133,9 @@ func Solve(p Problem) (Solution, error) {
 		return Solution{X: make([]float64, n)}, nil
 	}
 
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+
 	// Columns: n structural, m slacks, up to m artificials.
 	var artRows []int
 	for i := range p.B {
@@ -90,16 +145,29 @@ func Solve(p Problem) (Solution, error) {
 	}
 	nart := len(artRows)
 	ncols := n + m + nart
-	t := &tableau{ncols: ncols, basis: make([]int, m)}
-	t.a = make([][]float64, m)
+	t := &tableau{ncols: ncols}
+	sc.basis = grownInts(sc.basis, m)
+	t.basis = sc.basis
+	sc.z = grownFloats(sc.z, ncols+1)
+	t.z = sc.z
+	sc.flat = grownFloats(sc.flat, m*(ncols+1))
+	if cap(sc.rows) < m {
+		sc.rows = make([][]float64, m)
+	}
+	sc.rows = sc.rows[:m]
+	for i := 0; i < m; i++ {
+		sc.rows[i] = sc.flat[i*(ncols+1) : (i+1)*(ncols+1)]
+	}
+	t.a = sc.rows
 	artCol := n + m
-	artOf := make(map[int]int, nart) // row -> artificial column
+	sc.artOf = grownInts(sc.artOf, m) // row -> artificial column
+	artOf := sc.artOf
 	for _, r := range artRows {
 		artOf[r] = artCol
 		artCol++
 	}
 	for i := 0; i < m; i++ {
-		row := make([]float64, ncols+1)
+		row := t.a[i]
 		neg := p.B[i] < -eps
 		sign := 1.0
 		if neg {
@@ -117,12 +185,12 @@ func Solve(p Problem) (Solution, error) {
 		} else {
 			t.basis[i] = n + i
 		}
-		t.a[i] = row
 	}
 
 	if nart > 0 {
 		// Phase 1: maximize -(sum of artificials).
-		obj := make([]float64, ncols)
+		sc.obj = grownFloats(sc.obj, ncols)
+		obj := sc.obj
 		for _, r := range artRows {
 			obj[artOf[r]] = -1
 		}
@@ -134,7 +202,8 @@ func Solve(p Problem) (Solution, error) {
 			return Solution{}, ErrInfeasible
 		}
 		// Drive any artificial still basic (at zero) out of the basis.
-		banned := make([]bool, ncols)
+		sc.banned = grownBools(sc.banned, ncols)
+		banned := sc.banned
 		for _, r := range artRows {
 			banned[artOf[r]] = true
 		}
@@ -157,15 +226,15 @@ func Solve(p Problem) (Solution, error) {
 			}
 		}
 		// Phase 2 with artificials banned from entering.
-		obj2 := make([]float64, ncols)
-		copy(obj2, p.C)
-		if _, err := t.optimize(obj2, banned); err != nil {
+		sc.obj = grownFloats(sc.obj, ncols)
+		copy(sc.obj, p.C)
+		if _, err := t.optimize(sc.obj, banned); err != nil {
 			return Solution{}, err
 		}
 	} else {
-		obj := make([]float64, ncols)
-		copy(obj, p.C)
-		if _, err := t.optimize(obj, nil); err != nil {
+		sc.obj = grownFloats(sc.obj, ncols)
+		copy(sc.obj, p.C)
+		if _, err := t.optimize(sc.obj, nil); err != nil {
 			return Solution{}, err
 		}
 	}
@@ -188,8 +257,8 @@ func Solve(p Problem) (Solution, error) {
 func (t *tableau) optimize(obj []float64, banned []bool) (float64, error) {
 	m, ncols := len(t.a), t.ncols
 	// Reduced costs maintained implicitly: z_j - c_j computed on demand from
-	// the priced-out objective row.
-	z := make([]float64, ncols+1)
+	// the priced-out objective row (pooled buffer; rebuildZ rewrites it).
+	z := t.z
 	rebuildZ := func() {
 		for j := 0; j <= ncols; j++ {
 			z[j] = 0

@@ -24,13 +24,19 @@ func SolveMILP(p Problem, integer []bool, maxNodes int) (Solution, error) {
 	stack := []node{{}}
 	nodes := 0
 
+	// Sub-problem row/RHS headers are rebuilt in place across branch-and-bound
+	// nodes — Solve copies coefficients into its own tableau and never retains
+	// the Problem slices, so one backing array serves the whole search.
+	var subA [][]float64
+	var subB []float64
 	for len(stack) > 0 && nodes < maxNodes {
 		nodes++
 		nd := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 
-		sub := Problem{C: p.C, A: append(append([][]float64{}, p.A...), nd.extraA...),
-			B: append(append([]float64{}, p.B...), nd.extraB...)}
+		subA = append(append(subA[:0], p.A...), nd.extraA...)
+		subB = append(append(subB[:0], p.B...), nd.extraB...)
+		sub := Problem{C: p.C, A: subA, B: subB}
 		sol, err := Solve(sub)
 		if err != nil {
 			continue // infeasible or unbounded branch: prune

@@ -27,6 +27,10 @@ type Node struct {
 	Outs   []EdgeTo
 	Ins    []*Node
 	Weight float64 // fraction of the chain's traffic that traverses this node
+
+	// Seq is the node's position in Graph.Order, fixed at Build. Consumers
+	// index dense per-node scratch with it instead of node-keyed maps.
+	Seq int
 }
 
 // Name returns the instance name.
@@ -125,6 +129,7 @@ func Build(chain *nfspec.Chain) (*Graph, error) {
 	for len(queue) > 0 {
 		n := queue[0]
 		queue = queue[1:]
+		n.Seq = len(g.Order)
 		g.Order = append(g.Order, n)
 		for _, e := range n.Outs {
 			indeg[e.Node]--

@@ -1,0 +1,218 @@
+package pisa
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"lemur/internal/hw"
+	"lemur/internal/obs"
+)
+
+// The Placer treats Compile as a slow black box and consults it on every
+// candidate placement — across schemes, coalescing variants and δ points the
+// same switch program recurs thousands of times per sweep (δ only changes
+// t_min, never the table list). CompileCache memoizes verdicts behind a
+// content key so identical programs compile exactly once per process.
+//
+// Keys are the canonical serialization of the stage-packing inputs: the
+// switch's per-stage budgets plus every table's name, SRAM/TCAM demand and
+// dependency list. Two placements that lower to the same logical table list
+// therefore share one verdict even when they come from different schemes,
+// different δ points, or freshly rebuilt chain graphs.
+
+// CacheStats is a point-in-time view of a cache's effectiveness.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// verdict is one memoized compile outcome: everything needed to reconstruct
+// Compile's (*Binary, error) return without re-packing.
+type verdict struct {
+	stageOf  []int  // nil when the compile failed before producing a layout
+	stages   int    // needed stages (valid whenever stageOf != nil)
+	have     int    // the spec's stage budget, for overflow reconstruction
+	overflow bool   // ErrStageOverflow (Binary still attached)
+	errMsg   string // non-overflow failure text ("" = success)
+}
+
+// binary materializes a fresh Binary so callers can never corrupt the cached
+// layout.
+func (v *verdict) binary() *Binary {
+	if v.stageOf == nil {
+		return nil
+	}
+	return &Binary{StageOf: append([]int(nil), v.stageOf...), Stages: v.stages}
+}
+
+func (v *verdict) err() error {
+	switch {
+	case v.overflow:
+		return fmt.Errorf("%w: needs %d stages, switch has %d", ErrStageOverflow, v.stages, v.have)
+	case v.errMsg != "":
+		return errors.New(v.errMsg)
+	default:
+		return nil
+	}
+}
+
+// CompileCache is a goroutine-safe, bounded memo table over Compile. The
+// zero value is not usable; call NewCompileCache.
+type CompileCache struct {
+	mu sync.Mutex
+	m  map[string]*verdict
+	// capEntries bounds the map; on overflow the whole generation is flushed
+	// (deterministic and O(1) amortized, unlike LRU bookkeeping on the hot
+	// path). A δ sweep's working set is far below the default cap, so
+	// flushes only fire on pathological workloads.
+	capEntries int
+
+	hits, misses, evictions atomic.Uint64
+}
+
+// DefaultCacheEntries bounds the shared cache. Verdict entries are small
+// (key bytes dominate at a few hundred bytes each), so 64k entries stay in
+// the tens of MB even for adversarial workloads.
+const DefaultCacheEntries = 65536
+
+// NewCompileCache builds an empty cache bounded to capEntries (<=0 means
+// DefaultCacheEntries).
+func NewCompileCache(capEntries int) *CompileCache {
+	if capEntries <= 0 {
+		capEntries = DefaultCacheEntries
+	}
+	return &CompileCache{m: make(map[string]*verdict), capEntries: capEntries}
+}
+
+// Hoisted metric handles (one atomic branch + add each; see internal/obs).
+var (
+	mCacheHit   = obs.C("lemur_pisa_compile_cache_total", obs.L("result", "hit"))
+	mCacheMiss  = obs.C("lemur_pisa_compile_cache_total", obs.L("result", "miss"))
+	mCacheEvict = obs.C("lemur_pisa_compile_cache_evictions_total")
+)
+
+// Compile returns the memoized verdict for (spec, tables), packing the
+// program on first sight. Concurrent misses on the same key may compile the
+// program more than once; verdicts are content-determined, so whichever
+// insert wins the race stores the identical outcome.
+func (c *CompileCache) Compile(spec *hw.PISASpec, tables []LogicalTable) (*Binary, error) {
+	key := cacheKey(spec, tables)
+
+	c.mu.Lock()
+	v := c.m[key]
+	c.mu.Unlock()
+	if v != nil {
+		c.hits.Add(1)
+		mCacheHit.Inc()
+		return v.binary(), v.err()
+	}
+	c.misses.Add(1)
+	mCacheMiss.Inc()
+
+	bin, err := Compile(spec, tables)
+	v = &verdict{have: spec.Stages}
+	if bin != nil {
+		v.stageOf = append([]int(nil), bin.StageOf...)
+		v.stages = bin.Stages
+	}
+	if err != nil {
+		if errors.Is(err, ErrStageOverflow) {
+			v.overflow = true
+		} else {
+			v.errMsg = err.Error()
+		}
+	}
+
+	c.mu.Lock()
+	if len(c.m) >= c.capEntries {
+		n := uint64(len(c.m))
+		c.evictions.Add(n)
+		mCacheEvict.Add(n)
+		c.m = make(map[string]*verdict)
+	}
+	c.m[key] = v
+	c.mu.Unlock()
+	return bin, err
+}
+
+// Stats snapshots the hit/miss/eviction counters.
+func (c *CompileCache) Stats() CacheStats {
+	c.mu.Lock()
+	entries := len(c.m)
+	c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   entries,
+	}
+}
+
+// Reset drops every entry and zeroes the counters (tests and cold-vs-warm
+// benchmarking).
+func (c *CompileCache) Reset() {
+	c.mu.Lock()
+	c.m = make(map[string]*verdict)
+	c.mu.Unlock()
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.evictions.Store(0)
+}
+
+// cacheKey canonicalizes the compile inputs. Table order matters (Deps index
+// into the slice), so the serialization is positional.
+func cacheKey(spec *hw.PISASpec, tables []LogicalTable) string {
+	var b strings.Builder
+	b.Grow(32 + len(tables)*24)
+	var buf [20]byte
+	writeInt := func(n int) {
+		b.Write(strconv.AppendInt(buf[:0], int64(n), 10))
+	}
+	writeInt(spec.Stages)
+	b.WriteByte('/')
+	writeInt(spec.SRAMPerStage)
+	b.WriteByte('/')
+	writeInt(spec.TCAMPerStage)
+	b.WriteByte('/')
+	writeInt(spec.TablesPerStage)
+	for i := range tables {
+		t := &tables[i]
+		b.WriteByte(';')
+		b.WriteString(t.Name)
+		b.WriteByte(':')
+		writeInt(t.SRAM)
+		b.WriteByte(',')
+		writeInt(t.TCAM)
+		for _, d := range t.Deps {
+			b.WriteByte('<')
+			writeInt(d)
+		}
+	}
+	return b.String()
+}
+
+// sharedCache memoizes compile verdicts process-wide — the Placer's stage
+// checks all route through it.
+var sharedCache = NewCompileCache(DefaultCacheEntries)
+
+// SharedCache returns the process-wide compile cache.
+func SharedCache() *CompileCache { return sharedCache }
+
+// CompileCached compiles via the process-wide cache.
+func CompileCached(spec *hw.PISASpec, tables []LogicalTable) (*Binary, error) {
+	return sharedCache.Compile(spec, tables)
+}

@@ -120,6 +120,7 @@ func minBounceChain(in *Input, g *nfgraph.Graph) (map[*nfgraph.Node]Assign, stri
 	}
 	var best map[*nfgraph.Node]Assign
 	bestBounces, bestSwitch := 1<<30, -1
+	paths := g.Paths() // expand once; the mask loop below walks it 2^|flex| times
 	total := 1 << len(flex)
 	for mask := 0; mask < total; mask++ {
 		ok := true
@@ -140,7 +141,7 @@ func minBounceChain(in *Input, g *nfgraph.Graph) (map[*nfgraph.Node]Assign, stri
 			continue
 		}
 		fillDevices(in, assign)
-		b := bounceCount(g, assign)
+		b := bounceCountPaths(paths, assign)
 		sw := 0
 		for _, a := range assign {
 			if a.Platform == hw.PISA {

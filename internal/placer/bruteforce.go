@@ -16,7 +16,15 @@ import (
 // deduplicated by their performance-relevant signature, and the cross-chain
 // search is bounded by BruteForceBudget with best-first ordering so the
 // bound bites last.
+//
+// Enumeration is serial (cheap — the combinations are pattern-index tuples),
+// while candidate evaluation (server binding, subgroup derivation, stage
+// check, core allocation, LP) fans out over Input.Parallel workers in
+// chunks. Chunks are reduced in enumeration order with the serial sweep's
+// exact tie-breaks, so the chosen Result — and the firstReason reported on
+// full infeasibility — never depend on worker count or schedule.
 func placeBruteForce(in *Input) (*Result, error) {
+	in.ensurePrep()
 	budget := in.BruteForceBudget
 	if budget <= 0 {
 		budget = 100000
@@ -33,56 +41,100 @@ func placeBruteForce(in *Input) (*Result, error) {
 		perChain[ci] = pats
 	}
 
-	var best *Result
-	var firstReason string
-	evals := 0
-	assign := make(map[*nfgraph.Node]Assign)
-
-	var dfs func(ci int, minCores int)
-	dfs = func(ci int, minCores int) {
-		if evals >= budget {
+	// Collect the cross-chain combinations (one pattern index per chain),
+	// depth-first in best-first order, pruning subtrees whose mandatory core
+	// demand already exceeds the rack, capped at the budget.
+	totalCores := in.totalWorkerCores()
+	var combos [][]int
+	idx := make([]int, len(in.Chains))
+	var dfs func(ci, minCores int)
+	dfs = func(ci, minCores int) {
+		if len(combos) >= budget {
 			return
 		}
-		if minCores > in.totalWorkerCores() {
+		if minCores > totalCores {
 			return // prune: mandatory cores already exceed the rack
 		}
 		if ci == len(in.Chains) {
-			evals++
-			bound := cloneAssign(assign)
-			if reason, ok := bindServers(in, bound); !ok {
-				if firstReason == "" {
-					firstReason = reason
-				}
+			combos = append(combos, append([]int(nil), idx...))
+			return
+		}
+		for pi := range perChain[ci] {
+			idx[ci] = pi
+			dfs(ci+1, minCores+perChain[ci][pi].minCores)
+			if len(combos) >= budget {
 				return
 			}
-			for _, breaks := range []map[*nfgraph.Node]bool{nil, splitBreaks(in, bound)} {
-				if breaks != nil && len(breaks) == 0 {
+		}
+	}
+	dfs(0, 0)
+
+	// Evaluate in bounded chunks so the candidate Results in flight stay
+	// proportional to the chunk, not the budget.
+	workers := in.workers()
+	chunk := 64 * workers
+	type comboVerdict struct {
+		results [2]*Result // [no-splits, split-breaks]; nil when skipped
+		reason  string     // server-binding failure
+	}
+	verdicts := make([]comboVerdict, 0, chunk)
+
+	var best *Result
+	var firstReason string
+	note := func(reason string) {
+		if firstReason == "" {
+			firstReason = reason
+		}
+	}
+	for start := 0; start < len(combos); start += chunk {
+		end := start + chunk
+		if end > len(combos) {
+			end = len(combos)
+		}
+		verdicts = verdicts[:end-start]
+		for i := range verdicts {
+			verdicts[i] = comboVerdict{}
+		}
+		runIndexed(end-start, workers, func(k int) {
+			assign := make(map[*nfgraph.Node]Assign, len(in.prep.nodes))
+			for ci, pi := range combos[start+k] {
+				for n, a := range perChain[ci][pi].assign {
+					assign[n] = a
+				}
+			}
+			v := &verdicts[k]
+			if reason, ok := bindServers(in, assign); !ok {
+				v.reason = reason
+				return
+			}
+			for vi, breaks := range [2]map[*nfgraph.Node]bool{nil, splitBreaks(in, assign)} {
+				if vi == 1 && len(breaks) == 0 {
 					continue
 				}
-				res := finishSplit(in, bound, breaks, policyMarginal)
+				v.results[vi] = finishSplit(in, assign, breaks, policyMarginal)
+			}
+		})
+		// Deterministic reduce in enumeration order.
+		for k := range verdicts {
+			v := &verdicts[k]
+			if v.reason != "" {
+				note(v.reason)
+				continue
+			}
+			for _, res := range v.results {
+				if res == nil {
+					continue
+				}
 				if !res.Feasible {
-					if firstReason == "" {
-						firstReason = res.Reason
-					}
+					note(res.Reason)
 					continue
 				}
 				if best == nil || res.Marginal > best.Marginal+1e-6 {
 					best = res
 				}
 			}
-			return
-		}
-		for _, pat := range perChain[ci] {
-			for n, a := range pat.assign {
-				assign[n] = a
-			}
-			dfs(ci+1, minCores+pat.minCores)
-			if evals >= budget {
-				return
-			}
 		}
 	}
-	dfs(0, 0)
 
 	if best == nil {
 		if firstReason == "" {
@@ -156,13 +208,7 @@ func enumerateChainPatterns(in *Input, g *nfgraph.Graph) ([]chainPattern, error)
 // that matter for joint optimization, plus its mandatory core count and an
 // optimistic rate bound.
 func patternSignature(in *Input, g *nfgraph.Graph, assign map[*nfgraph.Node]Assign) (string, int, float64) {
-	probe := cloneAssign(assign)
-	for n, a := range probe {
-		if a.Platform == hw.Server {
-			a.Device = "probe"
-			probe[n] = a
-		}
-	}
+	probe := probeAssign(assign)
 	subs := computeSubgroups(in, 0, g, probe)
 	var parts []string
 	minCores := 0

@@ -88,13 +88,13 @@ func finishCommon(in *Input, res *Result, policy allocPolicy) *Result {
 // must not exceed the bound.
 func checkLatency(in *Input, res *Result) (string, bool) {
 	const switchPipelineSec = 1e-6
-	for _, g := range in.Chains {
+	for ci, g := range in.Chains {
 		dmax := g.Chain.SLO.DMaxSec
 		if dmax <= 0 {
 			continue
 		}
 		worst := 0.0
-		for _, path := range g.Paths() {
+		for _, path := range in.chainPaths(ci) {
 			d := switchPipelineSec
 			prev, prevDev := hw.PISA, ""
 			hops := 0
@@ -156,7 +156,7 @@ func bindServers(in *Input, assign map[*nfgraph.Node]Assign) (string, bool) {
 		for _, n := range g.Order {
 			if a, ok := assign[n]; ok {
 				if a.Platform == hw.Server {
-					a.Device = "probe"
+					a.Device = probeDevice
 				}
 				probe[n] = a
 			}
@@ -219,6 +219,24 @@ func bindNICs(in *Input, assign map[*nfgraph.Node]Assign) {
 func cloneAssign(m map[*nfgraph.Node]Assign) map[*nfgraph.Node]Assign {
 	out := make(map[*nfgraph.Node]Assign, len(m))
 	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// probeDevice is the placeholder server name used when deriving subgroup
+// structure before real server binding.
+const probeDevice = "probe"
+
+// probeAssign clones an assignment with every server node rewritten to the
+// probe placeholder device — one pass, one allocation (the clone-then-
+// rewrite pattern this replaces paid a second full map walk).
+func probeAssign(m map[*nfgraph.Node]Assign) map[*nfgraph.Node]Assign {
+	out := make(map[*nfgraph.Node]Assign, len(m))
+	for k, v := range m {
+		if v.Platform == hw.Server {
+			v.Device = probeDevice
+		}
 		out[k] = v
 	}
 	return out

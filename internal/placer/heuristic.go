@@ -16,58 +16,98 @@ func placeLemur(in *Input) (*Result, error) {
 }
 
 func lemurHeuristic(in *Input, policy allocPolicy) (*Result, error) {
-	var best *Result
-	var firstReason string
-	consider := func(res *Result) {
-		if res == nil {
-			return
-		}
-		if !res.Feasible {
-			if firstReason == "" {
-				firstReason = res.Reason
-			}
-			return
-		}
-		if best == nil || res.Marginal > best.Marginal+1e-6 {
-			best = res
-		}
-	}
+	in.ensurePrep() // refresh for callers that copy the Input and swap the DB
+	workers := in.workers()
 
+	// Step 1 (serial — each eviction loop consults the stage compiler, which
+	// the shared verdict cache makes cheap on reruns): greedy switch
+	// placement per base; evict the lowest-cycle-cost evictable NF until the
+	// stage compiler accepts. Step 2: coalescing variants per base —
+	// baseline, strict+conservative, strict+aggressive, plus a
+	// fully-coalesced low-bounce variant for latency-constrained inputs.
+	// Each mode is a pure function of the post-eviction assignment, so the
+	// three modes run concurrently.
+	type baseCand struct {
+		evictReason string
+		variants    []map[*nfgraph.Node]Assign
+	}
+	var bases []baseCand
 	for _, base := range baselineAssigns(in) {
-		// Step 1: greedy switch placement already in base; evict the
-		// lowest-cycle-cost evictable NF until the stage compiler accepts.
 		assign, ok, reason := evictUntilFits(in, base)
 		if !ok {
-			if firstReason == "" {
-				firstReason = reason
-			}
+			bases = append(bases, baseCand{evictReason: reason})
 			continue
 		}
-		// Step 2: coalescing variants. Baseline, strict+conservative,
-		// strict+aggressive, plus a fully-coalesced low-bounce variant for
-		// latency-constrained inputs.
-		variants := []map[*nfgraph.Node]Assign{assign}
+		variants := make([]map[*nfgraph.Node]Assign, 1, 4)
+		variants[0] = assign
 		if !in.DisableCoalescing {
-			variants = append(variants,
-				applyCoalescing(in, assign, coalesceConservative),
-				applyCoalescing(in, assign, coalesceAggressive),
-				applyCoalescing(in, assign, coalesceAll),
-			)
+			variants = variants[:4]
+			modes := []coalesceMode{coalesceConservative, coalesceAggressive, coalesceAll}
+			runIndexed(len(modes), workers, func(i int) {
+				variants[i+1] = applyCoalescing(in, assign, modes[i])
+			})
 		}
-		// Step 3: allocate cores, run the LP, keep the best marginal. Each
-		// variant is also tried with non-replicable NFs split into their
-		// own subgroups (trading a bounce for core scalability, §5.3).
-		for _, v := range variants {
-			bound := cloneAssign(v)
-			if reason, ok := bindServers(in, bound); !ok {
-				if firstReason == "" {
-					firstReason = reason
-				}
+		bases = append(bases, baseCand{variants: variants})
+	}
+
+	// Step 3: allocate cores, run the LP, keep the best marginal. Each
+	// variant is also tried with non-replicable NFs split into their own
+	// subgroups (trading a bounce for core scalability, §5.3). Variants
+	// evaluate concurrently; the reduce below walks them in base/variant
+	// order so serial and parallel runs pick the identical Result.
+	type verdict struct {
+		bindReason string
+		results    [2]*Result // [no-splits, split-breaks]; nil when skipped
+	}
+	var flat []map[*nfgraph.Node]Assign
+	for _, bc := range bases {
+		flat = append(flat, bc.variants...)
+	}
+	verdicts := make([]verdict, len(flat))
+	runIndexed(len(flat), workers, func(i int) {
+		bound := cloneAssign(flat[i])
+		v := &verdicts[i]
+		if reason, ok := bindServers(in, bound); !ok {
+			v.bindReason = reason
+			return
+		}
+		v.results[0] = finishSplit(in, bound, nil, policy)
+		if breaks := splitBreaks(in, bound); len(breaks) > 0 {
+			v.results[1] = finishSplit(in, bound, breaks, policy)
+		}
+	})
+
+	var best *Result
+	var firstReason string
+	note := func(reason string) {
+		if firstReason == "" && reason != "" {
+			firstReason = reason
+		}
+	}
+	vi := 0
+	for _, bc := range bases {
+		if bc.evictReason != "" {
+			note(bc.evictReason)
+			continue
+		}
+		for range bc.variants {
+			v := &verdicts[vi]
+			vi++
+			if v.bindReason != "" {
+				note(v.bindReason)
 				continue
 			}
-			consider(finishSplit(in, bound, nil, policy))
-			if breaks := splitBreaks(in, bound); len(breaks) > 0 {
-				consider(finishSplit(in, bound, breaks, policy))
+			for _, res := range v.results {
+				if res == nil {
+					continue
+				}
+				if !res.Feasible {
+					note(res.Reason)
+					continue
+				}
+				if best == nil || res.Marginal > best.Marginal+1e-6 {
+					best = res
+				}
 			}
 		}
 	}
@@ -128,20 +168,26 @@ func baselineAssigns(in *Input) []map[*nfgraph.Node]Assign {
 // stays, so cheap NFs are the best candidates to absorb on cores).
 func evictUntilFits(in *Input, base map[*nfgraph.Node]Assign) (map[*nfgraph.Node]Assign, bool, string) {
 	assign := cloneAssign(base)
+	probe := &Result{Assign: assign} // reused across eviction rounds
 	for {
-		probe := &Result{Assign: assign}
+		probe.Stages = 0
 		reason, ok := stageCheck(in, probe)
 		if ok {
 			return assign, true, ""
 		}
 		var victim *nfgraph.Node
 		victimCost := math.Inf(1)
-		for _, n := range switchNodes(in, assign) {
-			if !in.allows(n, hw.Server) {
-				continue
-			}
-			if c := in.nodeCycles(n); c < victimCost {
-				victimCost, victim = c, n
+		for _, g := range in.Chains {
+			for _, n := range g.Order {
+				if a, on := assign[n]; !on || a.Platform != hw.PISA {
+					continue
+				}
+				if !in.allows(n, hw.Server) {
+					continue
+				}
+				if c := in.nodeCycles(n); c < victimCost {
+					victimCost, victim = c, n
+				}
 			}
 		}
 		if victim == nil {
@@ -170,15 +216,9 @@ type bridge struct {
 	s1, s2   *Subgroup
 }
 
-// findBridges locates coalescing opportunities under the given assignment.
-func findBridges(in *Input, assign map[*nfgraph.Node]Assign) []bridge {
-	probe := cloneAssign(assign)
-	for n, a := range probe {
-		if a.Platform == hw.Server {
-			a.Device = "probe"
-			probe[n] = a
-		}
-	}
+// findBridges locates coalescing opportunities under a probed assignment
+// (server nodes carry the probe placeholder device; see probeAssign).
+func findBridges(in *Input, probe map[*nfgraph.Node]Assign) []bridge {
 	var bridges []bridge
 	for ci, g := range in.Chains {
 		subs := computeSubgroups(in, ci, g, probe)
@@ -209,14 +249,17 @@ func findBridges(in *Input, assign map[*nfgraph.Node]Assign) []bridge {
 
 // applyCoalescing applies step-2 rules repeatedly until fixpoint and
 // returns a new assignment. Moves only ever take NFs off the switch, so the
-// stage constraint verified in step 1 keeps holding.
+// stage constraint verified in step 1 keeps holding. The probed view is
+// maintained incrementally across fixpoint rounds instead of recloning the
+// assignment per bridge scan.
 func applyCoalescing(in *Input, assign map[*nfgraph.Node]Assign, mode coalesceMode) map[*nfgraph.Node]Assign {
 	out := cloneAssign(assign)
+	probe := probeAssign(assign)
 	overhead := in.Topo.EncapCycles + in.Topo.DemuxCycles
 	f := in.clockHz()
 	for {
 		moved := false
-		for _, b := range findBridges(in, out) {
+		for _, b := range findBridges(in, probe) {
 			cb := in.nodeCycles(b.node)
 			cc := b.s1.Cycles + b.s2.Cycles + cb - overhead // one shared overhead
 			w := b.s1.Weight
@@ -239,7 +282,7 @@ func applyCoalescing(in *Input, assign map[*nfgraph.Node]Assign, mode coalesceMo
 				// conservative: the chain's throughput does not decrease —
 				// the pair is not the chain bottleneck at 1 core each.
 				chainBottle := math.Inf(1)
-				probeSubs := res1CoreCaps(in, out, b.chainIdx)
+				probeSubs := res1CoreCaps(in, probe, b.chainIdx)
 				for _, r := range probeSubs {
 					chainBottle = minF(chainBottle, r)
 				}
@@ -254,6 +297,7 @@ func applyCoalescing(in *Input, assign map[*nfgraph.Node]Assign, mode coalesceMo
 			}
 			if apply {
 				out[b.node] = Assign{Platform: hw.Server}
+				probe[b.node] = Assign{Platform: hw.Server, Device: probeDevice}
 				mCoalesceMoves.Inc()
 				moved = true
 				break // recompute bridges after each move
@@ -266,15 +310,8 @@ func applyCoalescing(in *Input, assign map[*nfgraph.Node]Assign, mode coalesceMo
 }
 
 // res1CoreCaps returns each subgroup's chain-rate ceiling at one core for
-// the given chain under the assignment.
-func res1CoreCaps(in *Input, assign map[*nfgraph.Node]Assign, chainIdx int) []float64 {
-	probe := cloneAssign(assign)
-	for n, a := range probe {
-		if a.Platform == hw.Server {
-			a.Device = "probe"
-			probe[n] = a
-		}
-	}
+// the given chain under a probed assignment.
+func res1CoreCaps(in *Input, probe map[*nfgraph.Node]Assign, chainIdx int) []float64 {
 	subs := computeSubgroups(in, chainIdx, in.Chains[chainIdx], probe)
 	var out []float64
 	for _, sg := range subs {

@@ -1,0 +1,57 @@
+package placer
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The concurrent placement engine: candidate evaluation fans out over a
+// bounded worker pool, but every reduction walks results in enumeration
+// order with the same tie-breaks as a serial sweep, so Place returns
+// byte-identical Results for any Input.Parallel value. Tasks write only to
+// their own index-addressed slot (plus goroutine-safe shared state: the PISA
+// compile cache, obs counters), which keeps the fan-out race-free without
+// locks on the hot path.
+
+// workers returns the candidate-evaluation pool width for this input.
+func (in *Input) workers() int {
+	if in.Parallel > 1 {
+		return in.Parallel
+	}
+	return 1
+}
+
+// runIndexed executes task(0..n-1) on up to workers goroutines (inline when
+// workers <= 1). Tasks are handed out by an atomic cursor, so scheduling is
+// nondeterministic — callers must keep per-index outputs and reduce in index
+// order to stay deterministic.
+func runIndexed(n, workers int, task func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				task(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

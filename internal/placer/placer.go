@@ -81,6 +81,17 @@ type Input struct {
 	// BruteForceBudget caps the number of cross-chain pattern combinations
 	// the Optimal scheme scores (0 = default).
 	BruteForceBudget int
+
+	// Parallel is the candidate-evaluation worker count. Values <= 1 mean
+	// serial; any value produces byte-identical Results (candidates are
+	// reduced in enumeration order with fixed tie-breaks).
+	Parallel int
+
+	// prep caches per-input derived state (worst-case node cycles, stage
+	// verdicts). Place installs it; consumers validate it against the
+	// current DB/topology and fall back to direct computation on mismatch,
+	// so copies of an Input with a swapped cost database stay correct.
+	prep *inputPrep
 }
 
 func (in *Input) frameBits() float64 {
@@ -171,6 +182,7 @@ func Place(scheme Scheme, in *Input) (*Result, error) {
 	if err := in.Topo.Validate(); err != nil {
 		return nil, err
 	}
+	in.ensurePrep()
 	start := time.Now()
 	sp := obs.Span("placer.place").
 		SetAttr("scheme", string(scheme)).
@@ -266,7 +278,7 @@ func (in *Input) allows(n *nfgraph.Node, p hw.Platform) bool {
 // nodeCycles is the profiled worst-case server cost of one node, inflated by
 // the worst-case cross-socket penalty (the paper's conservative profiles).
 func (in *Input) nodeCycles(n *nfgraph.Node) float64 {
-	return in.DB.WorstCycles(n.Class(), n.Inst.Params) * in.Topo.CrossSocketPenalty
+	return in.rawWorstCycles(n) * in.Topo.CrossSocketPenalty
 }
 
 // clockHz returns the NF servers' clock (uniform in our topologies).

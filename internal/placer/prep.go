@@ -1,0 +1,199 @@
+package placer
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"lemur/internal/hw"
+	"lemur/internal/nfgraph"
+	"lemur/internal/obs"
+	"lemur/internal/profile"
+)
+
+// inputPrep caches derived state that every candidate evaluation of one
+// placement input recomputes otherwise: the profiled worst-case cycles per
+// node (DB lookups build string keys, and the brute-force scorer asks for the
+// same node thousands of times) and the stage-check verdict per distinct
+// switch-resident node set (table construction and PISA compilation depend
+// only on which nodes sit on the switch, not on rates or δ).
+//
+// A prep is installed by Place before scheme dispatch and carries the
+// identity of the inputs it was derived from; each consumer validates the
+// relevant identity and silently falls back to direct computation on
+// mismatch. That keeps the ablations that copy an Input and swap its cost
+// database (NoProfiling, the §5.2 sensitivity sweep) correct without any
+// cooperation from their call sites.
+type inputPrep struct {
+	db     *profile.DB
+	topo   *hw.Topology
+	chains []*nfgraph.Graph
+
+	// nodes flattens every chain's nodes in enumeration order; rawCycles
+	// holds DB.WorstCycles per node (cross-socket penalty applied live).
+	// pisaNames holds each PISA-capable node's logical table names and
+	// maxTables bounds the switch program size (both feed the optimized
+	// BuildSwitchTables path, which otherwise rebuilds the same strings for
+	// every candidate). All read-only after build.
+	nodes     []*nfgraph.Node
+	rawCycles map[*nfgraph.Node]float64
+	pisaNames map[*nfgraph.Node][]string
+	maxTables int
+
+	// paths caches each chain's root-to-leaf path expansion (Graph.Paths
+	// allocates its result on every call; latency checks and bounce counts
+	// walk it per candidate).
+	paths [][]nfgraph.Path
+
+	// ones and tmins are the rate LP's objective (all ones) and per-chain
+	// t_min vector, shared read-only across every solve (lp.Solve copies
+	// coefficients, never mutates them).
+	ones  []float64
+	tmins []float64
+
+	// stage memoizes stageCheck verdicts keyed by the PISA-assignment
+	// bitstring over nodes. Guarded: parallel workers share one prep.
+	mu    sync.Mutex
+	stage map[string]stageVerdict
+}
+
+// stageVerdict is a memoized stageCheck outcome.
+type stageVerdict struct {
+	stages int
+	reason string
+	ok     bool
+}
+
+var (
+	mStageMemoHit  = obs.C("lemur_placer_stage_memo_total", obs.L("result", "hit"))
+	mStageMemoMiss = obs.C("lemur_placer_stage_memo_total", obs.L("result", "miss"))
+
+	// Unconditional counterparts of the obs counters (which are no-ops
+	// until obs.Enable): always-on totals across all preps, for tests and
+	// the benchmark reporter.
+	stageMemoHits   atomic.Uint64
+	stageMemoMisses atomic.Uint64
+)
+
+// StageMemoStats reports process-wide stage-memo hits and misses.
+func StageMemoStats() (hits, misses uint64) {
+	return stageMemoHits.Load(), stageMemoMisses.Load()
+}
+
+// ensurePrep installs (or refreshes) the prep for the input's current DB,
+// topology and chain set. Called once per Place, before workers fan out.
+func (in *Input) ensurePrep() {
+	if p := in.prep; p != nil && p.db == in.DB && p.topo == in.Topo && sameChains(p.chains, in.Chains) {
+		return
+	}
+	p := &inputPrep{
+		db:     in.DB,
+		topo:   in.Topo,
+		chains: append([]*nfgraph.Graph(nil), in.Chains...),
+		stage:  make(map[string]stageVerdict),
+	}
+	for _, g := range in.Chains {
+		p.nodes = append(p.nodes, g.Order...)
+	}
+	p.rawCycles = make(map[*nfgraph.Node]float64, len(p.nodes))
+	for _, n := range p.nodes {
+		p.rawCycles[n] = in.DB.WorstCycles(n.Class(), n.Inst.Params)
+	}
+	p.paths = make([][]nfgraph.Path, len(in.Chains))
+	p.ones = make([]float64, len(in.Chains))
+	p.tmins = make([]float64, len(in.Chains))
+	for i, g := range in.Chains {
+		p.paths[i] = g.Paths()
+		p.ones[i] = 1
+		p.tmins[i] = g.Chain.SLO.TMinBps
+	}
+	p.pisaNames = make(map[*nfgraph.Node][]string)
+	p.maxTables = 1 // steer_classify
+	for ci, g := range in.Chains {
+		for _, n := range g.Order {
+			prof := n.Meta.PISA
+			if prof == nil {
+				continue
+			}
+			names := make([]string, prof.Tables)
+			for t := range names {
+				names[t] = fmt.Sprintf("c%d_%s_t%d", ci, n.Name(), t)
+			}
+			p.pisaNames[n] = names
+			p.maxTables += prof.Tables
+		}
+	}
+	in.prep = p
+}
+
+func sameChains(a, b []*nfgraph.Graph) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// chainPaths returns chain ci's root-to-leaf paths, via the prep when it
+// matches the input's current chain set.
+func (in *Input) chainPaths(ci int) []nfgraph.Path {
+	if p := in.prep; p != nil && sameChains(p.chains, in.Chains) {
+		return p.paths[ci]
+	}
+	return in.Chains[ci].Paths()
+}
+
+// rawWorstCycles returns DB.WorstCycles for a node, via the prep when it
+// matches the input's current database.
+func (in *Input) rawWorstCycles(n *nfgraph.Node) float64 {
+	if p := in.prep; p != nil && p.db == in.DB {
+		if c, ok := p.rawCycles[n]; ok {
+			return c
+		}
+	}
+	return in.DB.WorstCycles(n.Class(), n.Inst.Params)
+}
+
+// stageKey renders the switch-resident node set as a byte per node. Table
+// construction (optimized codegen) depends only on this set — node names,
+// PISA profiles and graph structure are fixed per input — so the string is a
+// complete key for the stage verdict.
+func (p *inputPrep) stageKey(assign map[*nfgraph.Node]Assign) string {
+	buf := make([]byte, len(p.nodes))
+	for i, n := range p.nodes {
+		if a, ok := assign[n]; ok && a.Platform == hw.PISA {
+			buf[i] = 'p'
+		} else {
+			buf[i] = '.'
+		}
+	}
+	return string(buf)
+}
+
+// stageFor returns the memoized verdict for an assignment, or computes and
+// records it via compute. Valid only when the prep matches the input; the
+// caller checks.
+func (p *inputPrep) stageFor(assign map[*nfgraph.Node]Assign, compute func() stageVerdict) stageVerdict {
+	key := p.stageKey(assign)
+	p.mu.Lock()
+	v, ok := p.stage[key]
+	p.mu.Unlock()
+	if ok {
+		stageMemoHits.Add(1)
+		mStageMemoHit.Inc()
+		return v
+	}
+	// Compute outside the lock: verdicts are content-determined, so a
+	// concurrent duplicate insert stores the same value.
+	stageMemoMisses.Add(1)
+	mStageMemoMiss.Inc()
+	v = compute()
+	p.mu.Lock()
+	p.stage[key] = v
+	p.mu.Unlock()
+	return v
+}

@@ -63,6 +63,31 @@ func (in *Input) coresToMeet(sg *Subgroup, targetBps float64) int {
 	return cores
 }
 
+// rowArena carves constraint rows out of one flat allocation instead of one
+// make per row. Rows come zeroed (blocks are always fresh heap memory) and
+// are never retained by lp.Solve, which copies coefficients into its own
+// tableau.
+type rowArena struct {
+	flat []float64
+	n    int
+}
+
+// newRowArena pre-sizes a block for `rows` n-wide rows; row() grows in bulk
+// when the estimate was low.
+func newRowArena(n, rows int) *rowArena {
+	return &rowArena{flat: make([]float64, 0, n*rows), n: n}
+}
+
+func (a *rowArena) row() []float64 {
+	if cap(a.flat)-len(a.flat) < a.n {
+		a.flat = make([]float64, 0, a.n*16)
+	}
+	end := len(a.flat) + a.n
+	r := a.flat[len(a.flat):end:end]
+	a.flat = a.flat[:end]
+	return r
+}
+
 // solveRates runs the marginal-throughput LP (§3.2): maximize Σ(r_i − t_min)
 // subject to t_min ≤ r_i ≤ min(capacity, t_max, ingress port) and per-device
 // link constraints Σ m_{i,d}·r_i ≤ C_d. On success it fills ChainRates,
@@ -70,11 +95,22 @@ func (in *Input) coresToMeet(sg *Subgroup, targetBps float64) int {
 // reason.
 func solveRates(in *Input, res *Result) (string, bool) {
 	n := len(in.Chains)
-	prob := lp.Problem{C: make([]float64, n)}
-	tmin := make([]float64, n)
+	// Objective and t_min vectors are fixed per input; share them from the
+	// prep (lp.Solve copies, never mutates) instead of rebuilding per solve.
+	var ones, tmin []float64
+	if p := in.prep; p != nil && sameChains(p.chains, in.Chains) {
+		ones, tmin = p.ones, p.tmins
+	} else {
+		ones = make([]float64, n)
+		tmin = make([]float64, n)
+		for i, g := range in.Chains {
+			ones[i] = 1
+			tmin[i] = g.Chain.SLO.TMinBps
+		}
+	}
+	prob := lp.Problem{C: ones, A: make([][]float64, 0, n+4), B: make([]float64, 0, n+4)}
+	arena := newRowArena(n, n+4)
 	for i, g := range in.Chains {
-		prob.C[i] = 1
-		tmin[i] = g.Chain.SLO.TMinBps
 		ub := minF(chainCapBps(in, res, i), g.Chain.SLO.TMaxBps)
 		ub = minF(ub, in.Topo.Switch.PortCapacityBps) // ingress port
 		if ub < tmin[i]-1e-6 {
@@ -82,25 +118,31 @@ func solveRates(in *Input, res *Result) (string, bool) {
 				g.Chain.Name, ub, tmin[i]), false
 		}
 		// x_i = r_i - tmin_i <= ub - tmin.
-		row := make([]float64, n)
+		row := arena.row()
 		row[i] = 1
 		prob.A = append(prob.A, row)
 		prob.B = append(prob.B, ub-tmin[i])
 	}
 
-	// Link constraints per device.
+	// Link constraints per device. Devices number a handful, so a linear
+	// slice beats a map — and gives the LP a deterministic constraint
+	// order. Visit rows come from the arena and are appended to the
+	// problem as-is.
 	type link struct {
+		dev    string
 		cap    float64
 		visits []float64
 	}
-	links := map[string]*link{}
+	var links []link
 	addVisit := func(dev string, cap float64, chain int, w float64) {
-		l := links[dev]
-		if l == nil {
-			l = &link{cap: cap, visits: make([]float64, n)}
-			links[dev] = l
+		for i := range links {
+			if links[i].dev == dev {
+				links[i].visits[chain] += w
+				return
+			}
 		}
-		l.visits[chain] += w
+		links = append(links, link{dev: dev, cap: cap, visits: arena.row()})
+		links[len(links)-1].visits[chain] += w
 	}
 	for _, sg := range res.Subgroups {
 		srv, err := in.Topo.ServerByName(sg.Server)
@@ -116,18 +158,16 @@ func solveRates(in *Input, res *Result) (string, bool) {
 		}
 		addVisit(u.Device, nic.CapacityBps, u.ChainIdx, u.Weight)
 	}
-	for dev, l := range links {
+	for _, l := range links {
 		fixed := 0.0
 		for i, m := range l.visits {
 			fixed += m * tmin[i]
 		}
 		if fixed > l.cap+1e-6 {
 			return fmt.Sprintf("link %s: t_min traffic %.3g bps exceeds capacity %.3g bps",
-				dev, fixed, l.cap), false
+				l.dev, fixed, l.cap), false
 		}
-		row := make([]float64, n)
-		copy(row, l.visits)
-		prob.A = append(prob.A, row)
+		prob.A = append(prob.A, l.visits)
 		prob.B = append(prob.B, l.cap-fixed)
 	}
 

@@ -18,19 +18,19 @@ func computeSubgroups(in *Input, chainIdx int, g *nfgraph.Graph, assign map[*nfg
 // a marked node starts a new subgroup even mid-run.
 func computeSubgroupsSplit(in *Input, chainIdx int, g *nfgraph.Graph, assign map[*nfgraph.Node]Assign, breaks map[*nfgraph.Node]bool) []*Subgroup {
 	var subs []*Subgroup
-	inSub := make(map[*nfgraph.Node]bool)
+	inSub := make([]bool, len(g.Order)) // indexed by Node.Seq
 
 	overhead := in.Topo.EncapCycles + in.Topo.DemuxCycles
 
 	for _, n := range g.Order {
 		a, ok := assign[n]
-		if !ok || a.Platform != hw.Server || inSub[n] {
+		if !ok || a.Platform != hw.Server || inSub[n.Seq] {
 			continue
 		}
 		sg := &Subgroup{ChainIdx: chainIdx, Server: a.Device, Weight: n.Weight, Replicable: true}
 		cur := n
 		for {
-			inSub[cur] = true
+			inSub[cur.Seq] = true
 			sg.Nodes = append(sg.Nodes, cur)
 			sg.Cycles += in.nodeCycles(cur)
 			if !cur.Meta.Replicable || cur.IsBranch() || cur.IsMerge() {
@@ -44,7 +44,7 @@ func computeSubgroupsSplit(in *Input, chainIdx int, g *nfgraph.Graph, assign map
 			}
 			next := cur.Outs[0].Node
 			na, ok := assign[next]
-			if !ok || na.Platform != hw.Server || na.Device != a.Device || inSub[next] ||
+			if !ok || na.Platform != hw.Server || na.Device != a.Device || inSub[next.Seq] ||
 				next.IsMerge() || breaks[next] {
 				break
 			}
@@ -61,7 +61,7 @@ func computeSubgroupsSplit(in *Input, chainIdx int, g *nfgraph.Graph, assign map
 // take extra cores. The extra subgroup boundary costs a switch bounce and a
 // core, which the LP and allocation account for.
 func splitBreaks(in *Input, assign map[*nfgraph.Node]Assign) map[*nfgraph.Node]bool {
-	breaks := make(map[*nfgraph.Node]bool)
+	var breaks map[*nfgraph.Node]bool // allocated on first mark; usually stays nil
 	nodeRepl := func(n *nfgraph.Node) bool {
 		return n.Meta.Replicable && !n.IsBranch() && !n.IsMerge()
 	}
@@ -81,6 +81,9 @@ func splitBreaks(in *Input, assign map[*nfgraph.Node]Assign) map[*nfgraph.Node]b
 			}
 			for i := 1; i < len(sg.Nodes); i++ {
 				if nodeRepl(sg.Nodes[i]) != nodeRepl(sg.Nodes[i-1]) {
+					if breaks == nil {
+						breaks = make(map[*nfgraph.Node]bool)
+					}
 					breaks[sg.Nodes[i]] = true
 				}
 			}
@@ -99,7 +102,7 @@ func computeNICUses(in *Input, chainIdx int, g *nfgraph.Graph, assign map[*nfgra
 				Node:     n,
 				Device:   a.Device,
 				Weight:   n.Weight,
-				Cycles:   in.DB.WorstCycles(n.Class(), n.Inst.Params),
+				Cycles:   in.rawWorstCycles(n),
 			})
 		}
 	}
@@ -136,8 +139,13 @@ func Bounces(g *nfgraph.Graph, assign map[*nfgraph.Node]Assign) int {
 // start and end, so a path beginning or ending off-switch also pays a
 // transition.
 func bounceCount(g *nfgraph.Graph, assign map[*nfgraph.Node]Assign) int {
+	return bounceCountPaths(g.Paths(), assign)
+}
+
+// bounceCountPaths is bounceCount over pre-expanded paths.
+func bounceCountPaths(paths []nfgraph.Path, assign map[*nfgraph.Node]Assign) int {
 	total := 0
-	for _, path := range g.Paths() {
+	for _, path := range paths {
 		prev := hw.PISA // traffic enters via the ToR
 		prevDev := ""
 		for _, n := range path.Nodes {

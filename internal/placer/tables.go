@@ -23,7 +23,15 @@ import (
 // cross-platform chains, and serialized branches — the 27-stage variant of
 // §5.2.
 func BuildSwitchTables(in *Input, assigns []map[*nfgraph.Node]Assign, optimize bool) []pisa.LogicalTable {
+	// The prep (when it matches this chain set) carries precomputed table
+	// names and a size bound, so the optimized path — run once per
+	// candidate placement — allocates no strings.
+	var names map[*nfgraph.Node][]string
 	var tables []pisa.LogicalTable
+	if p := in.prep; p != nil && sameChains(p.chains, in.Chains) {
+		names = p.pisaNames
+		tables = make([]pisa.LogicalTable, 0, p.maxTables)
+	}
 	add := func(t pisa.LogicalTable) int {
 		tables = append(tables, t)
 		return len(tables) - 1
@@ -40,19 +48,24 @@ func BuildSwitchTables(in *Input, assigns []map[*nfgraph.Node]Assign, optimize b
 			}
 		}
 
-		// lastTables[n] = indices of the tables that must precede node n's
-		// table, propagated through non-switch nodes.
-		lastTables := make(map[*nfgraph.Node][]int, len(g.Order))
+		// lastTables[n.Seq] = indices of the tables that must precede node
+		// n's table, propagated through non-switch nodes.
+		lastTables := make([][]int, len(g.Order))
 		var prevSibling int = -1
 		for _, n := range g.Order {
-			// Gather dependencies from predecessors.
+			// Gather dependencies from predecessors. Dep lists are tiny
+			// (fan-in plus carried tables), so dedup by linear scan.
 			var deps []int
-			seen := map[int]bool{}
 			addDep := func(idx int) {
-				if idx >= 0 && !seen[idx] {
-					seen[idx] = true
-					deps = append(deps, idx)
+				if idx < 0 {
+					return
 				}
+				for _, d := range deps {
+					if d == idx {
+						return
+					}
+				}
+				deps = append(deps, idx)
 			}
 			if len(n.Ins) == 0 && !optimize {
 				// Naive codegen serializes classification before the first
@@ -61,7 +74,7 @@ func BuildSwitchTables(in *Input, assigns []map[*nfgraph.Node]Assign, optimize b
 				addDep(steer)
 			}
 			for _, pred := range n.Ins {
-				for _, d := range lastTables[pred] {
+				for _, d := range lastTables[pred.Seq] {
 					addDep(d)
 				}
 			}
@@ -69,13 +82,13 @@ func BuildSwitchTables(in *Input, assigns []map[*nfgraph.Node]Assign, optimize b
 			a, onSwitch := assign[n]
 			if !onSwitch || a.Platform != hw.PISA {
 				// Not a switch node: dependencies pass through.
-				lastTables[n] = deps
+				lastTables[n.Seq] = deps
 				continue
 			}
 
 			prof := n.Meta.PISA
 			if prof == nil {
-				lastTables[n] = deps
+				lastTables[n.Seq] = deps
 				continue
 			}
 			if !optimize && n.IsMerge() {
@@ -89,8 +102,14 @@ func BuildSwitchTables(in *Input, assigns []map[*nfgraph.Node]Assign, optimize b
 			}
 			var last int
 			for t := 0; t < prof.Tables; t++ {
+				var name string
+				if nn := names[n]; t < len(nn) {
+					name = nn[t]
+				} else {
+					name = fmt.Sprintf("c%d_%s_t%d", ci, n.Name(), t)
+				}
 				idx := add(pisa.LogicalTable{
-					Name: fmt.Sprintf("c%d_%s_t%d", ci, n.Name(), t),
+					Name: name,
 					SRAM: prof.SRAM, TCAM: prof.TCAM,
 					Deps: deps,
 				})
@@ -105,7 +124,7 @@ func BuildSwitchTables(in *Input, assigns []map[*nfgraph.Node]Assign, optimize b
 			if len(n.Ins) == 1 && n.Ins[0].IsBranch() {
 				prevSibling = last
 			}
-			lastTables[n] = []int{last}
+			lastTables[n.Seq] = []int{last}
 		}
 
 		if !optimize && crossPlatform {
@@ -113,7 +132,7 @@ func BuildSwitchTables(in *Input, assigns []map[*nfgraph.Node]Assign, optimize b
 			var tails []int
 			for _, n := range g.Order {
 				if len(n.Outs) == 0 {
-					tails = append(tails, lastTables[n]...)
+					tails = append(tails, lastTables[n.Seq]...)
 				}
 			}
 			enc := add(pisa.LogicalTable{Name: fmt.Sprintf("c%d_nsh_encap", ci), SRAM: 1, Deps: []int{steer}})
@@ -125,19 +144,46 @@ func BuildSwitchTables(in *Input, assigns []map[*nfgraph.Node]Assign, optimize b
 
 // stageCheck compiles the placement's switch program and records the stage
 // count. It returns false with a reason when the program does not fit.
+// Verdicts are memoized at two levels: per input keyed by the switch-resident
+// node set (skipping table construction entirely), and below that in the
+// shared content-keyed compile cache (pisa.CompileCached) — across schemes,
+// coalescing variants and δ points the same program recurs constantly, and δ
+// never changes it.
 func stageCheck(in *Input, res *Result) (string, bool) {
-	assigns := perChainAssigns(in, res.Assign)
-	tables := BuildSwitchTables(in, assigns, true)
-	bin, err := pisa.Compile(in.Topo.Switch, tables)
-	if bin != nil {
-		res.Stages = bin.Stages
+	var v stageVerdict
+	if p := in.prep; p != nil && p.topo == in.Topo && sameChains(p.chains, in.Chains) {
+		v = p.stageFor(res.Assign, func() stageVerdict { return compileStages(in, res.Assign) })
+	} else {
+		v = compileStages(in, res.Assign)
 	}
-	if err != nil {
+	res.Stages = v.stages
+	if !v.ok {
 		mStageCheckFail.Inc()
-		return fmt.Sprintf("pisa: %v", err), false
+		return v.reason, false
 	}
 	mStageCheckOK.Inc()
 	return "", true
+}
+
+// compileStages is the uncached stage check: lower to logical tables and run
+// the PISA compiler.
+func compileStages(in *Input, assign map[*nfgraph.Node]Assign) stageVerdict {
+	// Chains' node sets are disjoint, so the global assignment map serves
+	// as every chain's view — no per-chain map split on this hot path.
+	assigns := make([]map[*nfgraph.Node]Assign, len(in.Chains))
+	for i := range assigns {
+		assigns[i] = assign
+	}
+	tables := BuildSwitchTables(in, assigns, true)
+	bin, err := pisa.CompileCached(in.Topo.Switch, tables)
+	v := stageVerdict{ok: err == nil}
+	if bin != nil {
+		v.stages = bin.Stages
+	}
+	if err != nil {
+		v.reason = fmt.Sprintf("pisa: %v", err)
+	}
+	return v
 }
 
 // perChainAssigns splits a global assignment map into per-chain maps in
@@ -145,26 +191,13 @@ func stageCheck(in *Input, res *Result) (string, bool) {
 func perChainAssigns(in *Input, assign map[*nfgraph.Node]Assign) []map[*nfgraph.Node]Assign {
 	out := make([]map[*nfgraph.Node]Assign, len(in.Chains))
 	for i, g := range in.Chains {
-		m := make(map[*nfgraph.Node]Assign)
+		m := make(map[*nfgraph.Node]Assign, len(g.Order))
 		for _, n := range g.Order {
 			if a, ok := assign[n]; ok {
 				m[n] = a
 			}
 		}
 		out[i] = m
-	}
-	return out
-}
-
-// switchNodes lists the PISA-assigned nodes of a placement.
-func switchNodes(in *Input, assign map[*nfgraph.Node]Assign) []*nfgraph.Node {
-	var out []*nfgraph.Node
-	for _, g := range in.Chains {
-		for _, n := range g.Order {
-			if a, ok := assign[n]; ok && a.Platform == hw.PISA {
-				out = append(out, n)
-			}
-		}
 	}
 	return out
 }

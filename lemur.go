@@ -58,6 +58,7 @@ type options struct {
 	scheme   placer.Scheme
 	restrict map[string][]hw.Platform
 	seed     int64
+	parallel int
 }
 
 // WithSmartNIC attaches a 40G eBPF SmartNIC to the first server.
@@ -101,6 +102,14 @@ func WithSeed(seed int64) Option {
 	return func(o *options) { o.seed = seed }
 }
 
+// WithParallel sets the placer's candidate-evaluation worker count. Values
+// <= 1 keep placement serial; any value yields the identical placement (the
+// placer reduces candidates in a deterministic order), so this is purely a
+// wall-clock knob.
+func WithParallel(n int) Option {
+	return func(o *options) { o.parallel = n }
+}
+
 // System is one Lemur instance over the paper's rack-scale testbed topology
 // (a Tofino-class ToR plus Xeon NF servers).
 type System struct {
@@ -117,6 +126,7 @@ func New(opts ...Option) *System {
 	sys.Scheme = o.scheme
 	sys.Restrict = o.restrict
 	sys.Seed = o.seed
+	sys.Parallel = o.parallel
 	return &System{sys: sys}
 }
 
