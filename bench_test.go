@@ -14,8 +14,13 @@ import (
 
 	"lemur/internal/experiments"
 	"lemur/internal/hw"
+	"lemur/internal/metacompiler"
+	"lemur/internal/nfgraph"
+	"lemur/internal/nfspec"
 	"lemur/internal/pisa"
 	"lemur/internal/placer"
+	"lemur/internal/profile"
+	"lemur/internal/runtime"
 )
 
 // benchDeltas is the δ grid used by the figure benchmarks (the full paper
@@ -349,6 +354,98 @@ func BenchmarkCoalescingAblation(b *testing.B) {
 		b.ReportMetric(0, "nocoalesce-marginal-gbps")
 	}
 }
+
+// simBench deploys a chain set with Lemur and times Simulate at 1.2x the
+// placed rates (mild queueing, no drop storm), reporting simulated packets
+// per wall-clock second and (with -benchmem) allocations per packet.
+func simBench(b *testing.B, src string, seed int64) {
+	b.Helper()
+	chains, err := nfspec.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := &placer.Input{Topo: hw.NewPaperTestbed(), DB: profile.DefaultDB(),
+		Restrict: map[string][]hw.Platform{"IPv4Fwd": {hw.PISA}}}
+	for _, c := range chains {
+		g, err := nfgraph.Build(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		in.Chains = append(in.Chains, g)
+	}
+	res, err := placer.Place(placer.SchemeLemur, in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !res.Feasible {
+		b.Fatalf("infeasible: %s", res.Reason)
+	}
+	d, err := metacompiler.Compile(in, res)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tb := runtime.New(d, seed)
+	offered := make([]float64, len(res.ChainRates))
+	for i, r := range res.ChainRates {
+		offered[i] = r * 1.2
+	}
+	cfg := runtime.SimConfig{Seed: seed, DurationSec: 0.3}
+	injected := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim, err := tb.Simulate(offered, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		injected = 0
+		for _, n := range sim.Injected {
+			injected += n
+		}
+	}
+	b.StopTimer()
+	if injected == 0 {
+		b.Fatal("no packets simulated")
+	}
+	b.ReportMetric(float64(injected)*float64(b.N)/b.Elapsed().Seconds(), "pkts/sec")
+	b.ReportMetric(float64(injected), "pkts/op")
+}
+
+// benchSimSmall is a single three-NF chain: one server subgroup.
+const benchSimSmall = `
+chain web {
+  slo { tmin = 2Gbps  tmax = 100Gbps }
+  aggregate { src = 10.0.0.0/8  dst = 172.16.0.0/12 }
+  acl0 = ACL(allow_dst = "172.16.0.0/12", rules = 1024)
+  enc0 = Encrypt()
+  fwd0 = IPv4Fwd()
+  acl0 -> enc0 -> fwd0
+}`
+
+// benchSimMedium adds two more chains so the simulator juggles several
+// subgroups, queues and traffic generators at once.
+const benchSimMedium = benchSimSmall + `
+chain mon {
+  slo { tmin = 1Gbps  tmax = 100Gbps }
+  aggregate { src = 11.0.0.0/8 }
+  mon0 = Monitor()
+  nat0 = NAT()
+  fwd1 = IPv4Fwd()
+  mon0 -> nat0 -> fwd1
+}
+chain filt {
+  slo { tmin = 1Gbps  tmax = 100Gbps }
+  aggregate { src = 12.0.0.0/8 }
+  mat0 = Match(dst_port = 443)
+  lim0 = Limiter(rate_mbps = 90000)
+  fwd2 = IPv4Fwd()
+  mat0 -> lim0 -> fwd2
+}`
+
+// BenchmarkSimulate: the discrete-time dataplane simulator hot path (ISSUE 3
+// tentpole). Small = one chain/subgroup, Medium = three chains.
+func BenchmarkSimulateSmall(b *testing.B)  { simBench(b, benchSimSmall, 7) }
+func BenchmarkSimulateMedium(b *testing.B) { simBench(b, benchSimMedium, 7) }
 
 // BenchmarkSimulateDynamics exercises the discrete-time simulator: the
 // four-chain deployment at its placed rates (no drops) and at 2x overload

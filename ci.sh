@@ -13,14 +13,21 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
-# The parallel placement engine and experiment runner get an extra race pass
-# with their property tests un-shortened (the ./... run above may cache).
-echo "==> go test -race -count=1 ./internal/placer ./internal/experiments"
-go test -race -count=1 ./internal/placer ./internal/experiments
+# The parallel placement engine, experiment runner (incl. the parallel sim
+# sweep), and batched simulator get an extra race pass with their property
+# tests un-shortened (the ./... run above may cache).
+echo "==> go test -race -count=1 ./internal/placer ./internal/experiments ./internal/runtime"
+go test -race -count=1 ./internal/placer ./internal/experiments ./internal/runtime
 
-# Benchmark smoke: one iteration of each placement micro-benchmark proves the
-# bench harness (and the -bench-out path it shares) still compiles and runs.
+# Allocation-regression guard: the arena-backed simulator must stay under its
+# fixed allocs-per-packet budget (testing.AllocsPerRun inside the test).
+echo "==> simulator allocation guard"
+go test -run 'TestSimulateAllocBudget' -count=1 ./internal/runtime
+
+# Benchmark smoke: one iteration of the placement and simulator
+# micro-benchmarks proves the bench harness (and the -bench-out path it
+# shares) still compiles and runs.
 echo "==> benchmark smoke"
-go test -run '^$' -bench 'BenchmarkPlace(Lemur|Optimal)' -benchtime 1x -benchmem .
+go test -run '^$' -bench 'BenchmarkPlace(Lemur|Optimal)|BenchmarkSimulate(Small|Medium)' -benchtime 1x -benchmem .
 
 echo "ci: all checks passed"

@@ -4,12 +4,17 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	runtimepkg "runtime"
+	"text/tabwriter"
 	"time"
 
 	"lemur/internal/experiments"
 	"lemur/internal/hw"
+	"lemur/internal/metacompiler"
 	"lemur/internal/pisa"
 	"lemur/internal/placer"
+	"lemur/internal/profile"
+	"lemur/internal/runtime"
 )
 
 // benchEntry is one (scheme, δ) placement timing on the four-chain set.
@@ -22,14 +27,24 @@ type benchEntry struct {
 	Feasible bool    `json:"feasible"`
 }
 
+// simBenchEntry is one simulator throughput measurement at a load factor.
+type simBenchEntry struct {
+	LoadFactor   float64 `json:"load_factor"`
+	Packets      int     `json:"packets"`
+	PktsPerSec   float64 `json:"sim_pkts_per_sec"`
+	AllocsPerPkt float64 `json:"allocs_per_pkt"`
+	DropRate     float64 `json:"drop_rate"`
+}
+
 // benchReport is the -bench-out JSON document.
 type benchReport struct {
-	Parallel     int          `json:"parallel"`
-	Entries      []benchEntry `json:"entries"`
-	TotalNs      int64        `json:"total_ns"`
-	CacheHits    uint64       `json:"pisa_cache_hits"`
-	CacheMisses  uint64       `json:"pisa_cache_misses"`
-	CacheHitRate float64      `json:"pisa_cache_hit_rate"`
+	Parallel     int             `json:"parallel"`
+	Entries      []benchEntry    `json:"entries"`
+	Sim          []simBenchEntry `json:"sim"`
+	TotalNs      int64           `json:"total_ns"`
+	CacheHits    uint64          `json:"pisa_cache_hits"`
+	CacheMisses  uint64          `json:"pisa_cache_misses"`
+	CacheHitRate float64         `json:"pisa_cache_hit_rate"`
 }
 
 // runBenchOut sweeps placement-only timings (no testbed measurement) for
@@ -70,6 +85,7 @@ func runBenchOut(path string, parallel int) {
 			})
 		}
 	}
+	report.Sim = simBenchEntries()
 	report.TotalNs = time.Since(start).Nanoseconds()
 	st := pisa.SharedCache().Stats()
 	report.CacheHits = st.Hits
@@ -85,4 +101,111 @@ func runBenchOut(path string, parallel int) {
 	}
 	fmt.Printf("wrote %s (total %.2fs, pisa cache hit rate %.1f%%)\n",
 		path, time.Duration(report.TotalNs).Seconds(), st.HitRate()*100)
+}
+
+// simBenchEntries measures the dataplane simulator's packet throughput and
+// allocation rate at each load factor: chains {1,2,3} at δ=0.5, each point
+// simulated on a freshly compiled deployment (a run mutates NF state).
+func simBenchEntries() []simBenchEntry {
+	chains := []int{1, 2, 3}
+	topo := hw.NewPaperTestbed()
+	bases, err := experiments.BaseRates(chains, topo, profile.DefaultDB())
+	if err != nil {
+		fatal(err)
+	}
+	tmins := make([]float64, len(bases))
+	for i, b := range bases {
+		tmins[i] = 0.5 * b
+	}
+	graphs, err := experiments.BuildChains(chains, tmins, hw.Gbps(100), 0)
+	if err != nil {
+		fatal(err)
+	}
+	in := &placer.Input{Chains: graphs, Topo: topo, DB: profile.DefaultDB(), Restrict: experiments.EvalRestrict}
+	res, err := placer.Place(placer.SchemeLemur, in)
+	if err != nil {
+		fatal(err)
+	}
+	if !res.Feasible {
+		fatal(fmt.Errorf("sim bench placement infeasible: %s", res.Reason))
+	}
+
+	var out []simBenchEntry
+	for _, lf := range []float64{0.8, 1.2, 1.8} {
+		d, err := metacompiler.Compile(in, res)
+		if err != nil {
+			fatal(err)
+		}
+		tb := runtime.New(d, 7)
+		offered := make([]float64, len(res.ChainRates))
+		for i, r := range res.ChainRates {
+			offered[i] = r * lf
+		}
+		var before, after runtimepkg.MemStats
+		runtimepkg.ReadMemStats(&before)
+		t0 := time.Now()
+		sim, err := tb.Simulate(offered, runtime.SimConfig{Seed: 7, DurationSec: 0.5})
+		elapsed := time.Since(t0)
+		runtimepkg.ReadMemStats(&after)
+		if err != nil {
+			fatal(err)
+		}
+		pkts, dropped, egressed := 0, 0, 0
+		for ci := range sim.Injected {
+			pkts += sim.Injected[ci]
+			egressed += sim.Egressed[ci]
+		}
+		dropped = pkts - egressed
+		drop := 0.0
+		if pkts > 0 {
+			drop = float64(dropped) / float64(pkts)
+		}
+		out = append(out, simBenchEntry{
+			LoadFactor:   lf,
+			Packets:      pkts,
+			PktsPerSec:   float64(pkts) / elapsed.Seconds(),
+			AllocsPerPkt: float64(after.Mallocs-before.Mallocs) / float64(pkts),
+			DropRate:     drop,
+		})
+	}
+	return out
+}
+
+// runSimSweep is the -sim command: a parallel load-factor sweep over chains
+// {1,2,3} using the batched simulator, reduced deterministically by point
+// index (the table is identical at any -parallel value).
+func runSimSweep(parallel int) {
+	r := experiments.NewRunner(hw.NewPaperTestbed())
+	r.Parallel = parallel
+	points := experiments.DefaultSimPoints(1)
+	cells, err := r.SimSweep([]int{1, 2, 3}, 0.5, points, runtime.SimConfig{DurationSec: 0.5})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("simulation sweep: chains {1,2,3}, δ=0.5, per-chain load factor vs outcome")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "load\toffered\tachieved\tdrop\tavg delay\tp99 delay\t")
+	for _, c := range cells {
+		var off, ach, inj, egr float64
+		worstP99, worstAvg := 0.0, 0.0
+		for ci := range c.Sim.OfferedBps {
+			off += c.Sim.OfferedBps[ci]
+			ach += c.Sim.AchievedBps[ci]
+			inj += float64(c.Sim.Injected[ci])
+			egr += float64(c.Sim.Egressed[ci])
+			if c.Sim.P99QueueDelaySec[ci] > worstP99 {
+				worstP99 = c.Sim.P99QueueDelaySec[ci]
+			}
+			if c.Sim.AvgQueueDelaySec[ci] > worstAvg {
+				worstAvg = c.Sim.AvgQueueDelaySec[ci]
+			}
+		}
+		drop := 0.0
+		if inj > 0 {
+			drop = (inj - egr) / inj
+		}
+		fmt.Fprintf(w, "%.1fx\t%s Gbps\t%s Gbps\t%.2f%%\t%.1fus\t%.1fus\t\n",
+			c.Point.LoadFactor, gbps(off), gbps(ach), drop*100, worstAvg*1e6, worstP99*1e6)
+	}
+	w.Flush()
 }

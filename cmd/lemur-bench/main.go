@@ -41,6 +41,7 @@ func main() {
 		metrics     = flag.String("metrics-out", "", "write a metrics snapshot to this JSON path (plus .prom alongside)")
 		parallel    = flag.Int("parallel", 0, "worker count for experiment cells and placer candidate evaluation (0 = GOMAXPROCS cells, serial placer)")
 		benchOut    = flag.String("bench-out", "", "run the placement micro-benchmark sweep and write ns/op + cache stats to this JSON path")
+		sim         = flag.Bool("sim", false, "parallel load-factor sweep with the discrete-time dataplane simulator")
 	)
 	flag.Parse()
 	if *metrics != "" {
@@ -60,6 +61,8 @@ func main() {
 	switch {
 	case *benchOut != "":
 		runBenchOut(*benchOut, *parallel)
+	case *sim:
+		runSimSweep(*parallel)
 	case *figure != "":
 		runFigure(*figure, deltas, *quick)
 	case *table == "3":

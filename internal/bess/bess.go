@@ -12,6 +12,7 @@ package bess
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"lemur/internal/bpf"
 	"lemur/internal/hw"
@@ -38,10 +39,12 @@ type Branch struct {
 	SI     uint8
 }
 
-// pickBranch mirrors the PISA switch's branch selection.
+// pickBranch mirrors the PISA switch's branch selection: filtered branches
+// first in order, then a stable per-flow weighted choice among filterless
+// ones. Two passes over the (short) branch list keep it allocation-free.
 func pickBranch(branches []Branch, p *packet.Packet) *Branch {
-	var weightless []*Branch
 	var totalW float64
+	weightless := 0
 	for i := range branches {
 		b := &branches[i]
 		if b.Filter != nil {
@@ -50,10 +53,10 @@ func pickBranch(branches []Branch, p *packet.Packet) *Branch {
 			}
 			continue
 		}
-		weightless = append(weightless, b)
+		weightless++
 		totalW += b.Weight
 	}
-	if len(weightless) == 0 {
+	if weightless == 0 {
 		return nil
 	}
 	var u float64
@@ -61,16 +64,31 @@ func pickBranch(branches []Branch, p *packet.Packet) *Branch {
 		u = float64(tu.Hash()%100000) / 100000
 	}
 	if totalW <= 0 {
-		return weightless[int(u*float64(len(weightless)))%len(weightless)]
+		idx := int(u*float64(weightless)) % weightless
+		for i := range branches {
+			if branches[i].Filter != nil {
+				continue
+			}
+			if idx == 0 {
+				return &branches[i]
+			}
+			idx--
+		}
 	}
 	acc := 0.0
-	for _, b := range weightless {
+	var last *Branch
+	for i := range branches {
+		b := &branches[i]
+		if b.Filter != nil {
+			continue
+		}
 		acc += b.Weight / totalW
 		if u < acc {
 			return b
 		}
+		last = b
 	}
-	return weightless[len(weightless)-1]
+	return last
 }
 
 // Subgroup is a run-to-completion group of server-placed NFs: one packet
@@ -130,6 +148,36 @@ type Pipeline struct {
 	Server  *hw.ServerSpec
 	entries map[uint64]*Subgroup
 	groups  []*Subgroup
+
+	// scratch is the decode buffer for ProcessFrameInPlace: keeping it on
+	// the pipeline (rather than on the stack under an interface call) makes
+	// the in-place path allocation-free. Pipelines are single-goroutine
+	// objects, like the per-deployment simulator that drives them.
+	scratch packet.Packet
+}
+
+// PathBinding is one installed (SPI, SI) → subgroup mapping.
+type PathBinding struct {
+	SPI uint32
+	SI  uint8
+	Sub *Subgroup
+}
+
+// PathBindings returns the installed service-path bindings sorted by
+// (SPI, SI), letting callers build dense dispatch tables without reaching
+// into the pipeline's internals.
+func (pl *Pipeline) PathBindings() []PathBinding {
+	out := make([]PathBinding, 0, len(pl.entries))
+	for k, sg := range pl.entries {
+		out = append(out, PathBinding{SPI: uint32(k >> 8), SI: uint8(k), Sub: sg})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SPI != out[j].SPI {
+			return out[i].SPI < out[j].SPI
+		}
+		return out[i].SI < out[j].SI
+	})
+	return out
 }
 
 // NewPipeline builds an empty pipeline for the server.
@@ -201,14 +249,38 @@ func (pl *Pipeline) CoreLoad() map[int]float64 {
 // subgroup's NFs run to completion, and the mux re-encapsulates with the
 // advanced (or branch-retagged) service index. The returned frame goes back
 // to the ToR. A nil frame with nil error means the chain dropped the packet.
-func (pl *Pipeline) ProcessFrame(frame []byte, env *nf.Env) (out []byte, rerr error) {
+// The input frame is never mutated.
+func (pl *Pipeline) ProcessFrame(frame []byte, env *nf.Env) ([]byte, error) {
+	var p packet.Packet
+	return pl.process(frame, env, &p, false)
+}
+
+// ProcessFrameInPlace is ProcessFrame for the simulator's zero-allocation
+// fast path: the demux/mux shift the L2 header over the NSH slot inside
+// frame's own backing array (nsh.DecapShift/EncapShift), so a server hop
+// whose NFs rewrite the packet in place performs no allocation and no
+// payload copy. The returned frame aliases the input unless an NF replaced
+// the packet buffer, in which case it falls back to an allocating encap.
+func (pl *Pipeline) ProcessFrameInPlace(frame []byte, env *nf.Env) ([]byte, error) {
+	return pl.process(frame, env, &pl.scratch, true)
+}
+
+func (pl *Pipeline) process(frame []byte, env *nf.Env, p *packet.Packet, inPlace bool) (out []byte, rerr error) {
 	mFrames.Inc()
 	defer func() {
 		if out == nil {
 			mDrops.Inc()
 		}
 	}()
-	inner, spi, si, err := nsh.Decap(frame)
+	var inner []byte
+	var spi uint32
+	var si uint8
+	var err error
+	if inPlace {
+		inner, spi, si, err = nsh.DecapShift(frame)
+	} else {
+		inner, spi, si, err = nsh.Decap(frame)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("bess: demux: %w", err)
 	}
@@ -216,12 +288,11 @@ func (pl *Pipeline) ProcessFrame(frame []byte, env *nf.Env) (out []byte, rerr er
 	if !ok {
 		return nil, fmt.Errorf("%w: spi=%d si=%d", ErrNoSubgroup, spi, si)
 	}
-	var p packet.Packet
 	if err := p.Decode(inner); err != nil {
 		return nil, fmt.Errorf("bess: %w", err)
 	}
 	for _, fn := range sg.NFs {
-		fn.Process(&p, env)
+		fn.Process(p, env)
 		if p.Drop {
 			sg.Processed++
 			return nil, nil
@@ -235,8 +306,14 @@ func (pl *Pipeline) ProcessFrame(frame []byte, env *nf.Env) (out []byte, rerr er
 		return nil, fmt.Errorf("bess: subgroup %s: SI underflow (si=%d advance=%d)",
 			sg.Name, si, sg.AdvanceSI)
 	}
-	if b := pickBranch(sg.Branches, &p); b != nil {
+	if b := pickBranch(sg.Branches, p); b != nil {
 		outSPI, outSI = b.SPI, b.SI
+	}
+	if inPlace && len(p.Data) == len(inner) && &p.Data[0] == &inner[0] {
+		if err := nsh.EncapShift(frame, outSPI, outSI); err != nil {
+			return nil, err
+		}
+		return frame, nil
 	}
 	return nsh.Encap(p.Data, outSPI, outSI)
 }

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"lemur/internal/metacompiler"
+	"lemur/internal/placer"
+	"lemur/internal/runtime"
+)
+
+// SimPoint is one independent simulation cell of a sweep: the placed rates
+// scaled by LoadFactor, simulated under Seed.
+type SimPoint struct {
+	LoadFactor float64
+	Seed       int64
+}
+
+// SimCell is one point's outcome.
+type SimCell struct {
+	Point SimPoint
+	Sim   *runtime.SimResult
+}
+
+// SimSweep places one chain set once, then simulates every point on its own
+// freshly compiled deployment so cells share no NF or queue state. Cells run
+// concurrently, bounded by Runner.Parallel (GOMAXPROCS when unset), and the
+// reduce is deterministic: results are stored by point index, so the output
+// is byte-identical to a serial run regardless of worker count or
+// completion order.
+func (r *Runner) SimSweep(chainIdxs []int, delta float64, points []SimPoint, cfg runtime.SimConfig) ([]SimCell, error) {
+	in, _, err := r.input(chainIdxs, delta)
+	if err != nil {
+		return nil, err
+	}
+	res, err := placer.Place(placer.SchemeLemur, in)
+	if err != nil {
+		return nil, err
+	}
+	if !res.Feasible {
+		return nil, fmt.Errorf("experiments: simsweep: placement infeasible: %s", res.Reason)
+	}
+
+	cells := make([]SimCell, len(points))
+	sem := make(chan struct{}, r.workers())
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+
+	for pi, pt := range points {
+		wg.Add(1)
+		go func(pi int, pt SimPoint) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			// Simulate mutates NF and queue state: every cell compiles its
+			// own deployment from the shared placement.
+			d, err := metacompiler.Compile(in, res)
+			if err == nil {
+				tb := runtime.New(d, r.Seed)
+				offered := make([]float64, len(res.ChainRates))
+				for i, rate := range res.ChainRates {
+					offered[i] = rate * pt.LoadFactor
+				}
+				pcfg := cfg
+				pcfg.Seed = pt.Seed
+				var sim *runtime.SimResult
+				sim, err = tb.Simulate(offered, pcfg)
+				if err == nil {
+					mu.Lock()
+					cells[pi] = SimCell{Point: pt, Sim: sim}
+					mu.Unlock()
+					return
+				}
+			}
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("experiments: simsweep point %d: %w", pi, err)
+			}
+			mu.Unlock()
+		}(pi, pt)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return cells, nil
+}
+
+// DefaultSimPoints spans underload through drop onset: load factors 0.6 to
+// 1.8, each point seeded from base so runs are reproducible.
+func DefaultSimPoints(base int64) []SimPoint {
+	factors := []float64{0.6, 0.8, 1.0, 1.2, 1.5, 1.8}
+	pts := make([]SimPoint, len(factors))
+	for i, f := range factors {
+		pts[i] = SimPoint{LoadFactor: f, Seed: base + int64(i)}
+	}
+	return pts
+}

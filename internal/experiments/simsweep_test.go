@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"lemur/internal/hw"
+	"lemur/internal/runtime"
+)
+
+// TestSimSweepParallelMatchesSerial: the same points swept with one worker
+// and with eight must produce identical results — the reduce is by point
+// index, so worker count and completion order cannot leak into the output.
+func TestSimSweepParallelMatchesSerial(t *testing.T) {
+	chains := []int{2, 3}
+	points := DefaultSimPoints(100)
+	cfg := runtime.SimConfig{DurationSec: 0.05}
+
+	run := func(parallel int) []SimCell {
+		r := NewRunner(hw.NewPaperTestbed())
+		r.Parallel = parallel
+		cells, err := r.SimSweep(chains, 0.5, points, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cells
+	}
+	serial := run(1)
+	parallel := run(8)
+
+	if len(serial) != len(points) || len(parallel) != len(points) {
+		t.Fatalf("cell counts: serial %d parallel %d, want %d", len(serial), len(parallel), len(points))
+	}
+	sj, _ := json.Marshal(serial)
+	pj, _ := json.Marshal(parallel)
+	if string(sj) != string(pj) {
+		t.Fatalf("parallel sweep diverges from serial:\nserial:   %s\nparallel: %s", sj, pj)
+	}
+}
+
+// TestSimSweepShape: drop rate must be ~zero under light load and positive
+// past saturation, and results must arrive in point order.
+func TestSimSweepShape(t *testing.T) {
+	r := NewRunner(hw.NewPaperTestbed())
+	points := []SimPoint{{LoadFactor: 0.5, Seed: 1}, {LoadFactor: 2.5, Seed: 2}}
+	cells, err := r.SimSweep([]int{2}, 0.5, points, runtime.SimConfig{DurationSec: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cells[0].Point, points[0]) || !reflect.DeepEqual(cells[1].Point, points[1]) {
+		t.Fatal("cells out of point order")
+	}
+	if d := cells[0].Sim.DropRate[0]; d > 0.01 {
+		t.Errorf("light load drop rate %v, want ~0", d)
+	}
+	if d := cells[1].Sim.DropRate[0]; d <= 0 {
+		t.Errorf("overload drop rate %v, want > 0", d)
+	}
+	if cells[1].Sim.AchievedBps[0] >= cells[1].Sim.OfferedBps[0] {
+		t.Error("overloaded cell achieved >= offered")
+	}
+}

@@ -46,6 +46,9 @@ func newCBC(name, class string, params Params) (NF, error) {
 }
 
 // Process encrypts (class Encrypt) or decrypts (class Decrypt) the payload.
+// CBC chaining runs inline over e.block rather than through
+// cipher.NewCBCEncrypter, whose per-packet construction is a heap allocation
+// on the simulator's hot path; the output is bit-identical.
 func (e *Encrypt) Process(p *packet.Packet, _ *Env) {
 	pay := p.Payload()
 	n := len(pay) &^ 15 // whole AES blocks
@@ -53,9 +56,27 @@ func (e *Encrypt) Process(p *packet.Packet, _ *Env) {
 		return
 	}
 	if e.class == "Encrypt" {
-		cipher.NewCBCEncrypter(e.block, e.iv[:]).CryptBlocks(pay[:n], pay[:n])
+		prev := e.iv[:]
+		for off := 0; off < n; off += 16 {
+			blk := pay[off : off+16]
+			for i := range blk {
+				blk[i] ^= prev[i]
+			}
+			e.block.Encrypt(blk, blk)
+			prev = blk
+		}
 	} else {
-		cipher.NewCBCDecrypter(e.block, e.iv[:]).CryptBlocks(pay[:n], pay[:n])
+		var prev, ct [16]byte
+		prev = e.iv
+		for off := 0; off < n; off += 16 {
+			blk := pay[off : off+16]
+			copy(ct[:], blk)
+			e.block.Decrypt(blk, blk)
+			for i := range blk {
+				blk[i] ^= prev[i]
+			}
+			prev = ct
+		}
 	}
 }
 

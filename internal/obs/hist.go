@@ -27,11 +27,22 @@ var histBounds = func() [histBuckets]float64 {
 // bucketIndex maps a sample to its bucket: bucket i covers
 // (bound[i-1], bound[i]], bucket 0 covers (-inf, histMin], and values past
 // the last bound land in the final (overflow) bucket.
+//
+// The index is ceil(log2(v/histMin)) computed exactly from the float's
+// exponent via Frexp: Observe sits on the simulator's per-packet path, and
+// Frexp is pure bit manipulation where Log2 is a libm call whose rounding
+// can also misplace samples sitting one ulp past a power-of-two bound.
 func bucketIndex(v float64) int {
 	if v <= histMin {
 		return 0
 	}
-	i := int(math.Ceil(math.Log2(v / histMin)))
+	// v/histMin = frac * 2^exp with frac in [0.5, 1): ceil(log2) is exp-1
+	// exactly at a power of two (frac == 0.5), exp otherwise.
+	frac, exp := math.Frexp(v / histMin)
+	i := exp
+	if frac == 0.5 {
+		i = exp - 1
+	}
 	if i < 0 {
 		return 0
 	}

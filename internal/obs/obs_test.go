@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"math/rand"
 	"regexp"
 	"strings"
 	"sync"
@@ -384,5 +385,36 @@ func TestDefaultRegistryHelpers(t *testing.T) {
 	sp.End()
 	if Default().Counter("default_c").Value() != 1 {
 		t.Fatalf("package-level helpers not wired to default registry")
+	}
+}
+
+// TestBucketIndexMatchesDefinition: the Frexp-based index must agree with a
+// direct scan of the bucket bounds — the semantic definition of "bucket i
+// covers (bound[i-1], bound[i]]" — across log-uniform random samples, exact
+// powers of two, and their one-ulp neighbors where a libm Log2 can misround.
+func TestBucketIndexMatchesDefinition(t *testing.T) {
+	scanIndex := func(v float64) int {
+		for i := 0; i < histBuckets; i++ {
+			if v <= histBounds[i] {
+				return i
+			}
+		}
+		return histBuckets - 1
+	}
+	check := func(v float64) {
+		if got, want := bucketIndex(v), scanIndex(v); got != want {
+			t.Fatalf("bucketIndex(%g) = %d, scan says %d", v, got, want)
+		}
+	}
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 20000; i++ {
+		// Log-uniform across the full range plus both overflow directions.
+		check(histMin * math.Pow(2, rng.Float64()*80-4))
+	}
+	for i := 0; i < histBuckets; i++ {
+		b := histMin * math.Pow(2, float64(i))
+		check(b)
+		check(math.Nextafter(b, 0))
+		check(math.Nextafter(b, math.Inf(1)))
 	}
 }

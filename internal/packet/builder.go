@@ -15,10 +15,19 @@ type Builder struct {
 	DstPort        uint16
 	TTL            uint8 // 0 defaults to 64
 	Payload        []byte
+	// PayloadLen reserves space for a payload the caller fills in afterwards.
+	// Only consulted when Payload is nil; AppendTo zero-fills the region so
+	// recycled buffers never leak stale bytes into unfilled payloads.
+	PayloadLen int
 }
 
 // Build serializes the described frame into a fresh buffer.
-func (b Builder) Build() []byte {
+func (b Builder) Build() []byte { return b.AppendTo(nil) }
+
+// AppendTo serializes the described frame into dst (growing it as needed) and
+// returns the extended slice. Every byte of the frame is written explicitly,
+// so dst may be a recycled buffer with arbitrary prior contents.
+func (b Builder) AppendTo(dst []byte) []byte {
 	proto := b.Proto
 	if proto == 0 {
 		proto = IPProtoUDP
@@ -38,8 +47,18 @@ func (b Builder) Build() []byte {
 	if b.NSH != nil {
 		hdr += NSHLen
 	}
-	total := hdr + IPv4Len + l4 + len(b.Payload)
-	buf := make([]byte, total)
+	payLen := len(b.Payload)
+	if b.Payload == nil {
+		payLen = b.PayloadLen
+	}
+	total := hdr + IPv4Len + l4 + payLen
+	base := len(dst)
+	if cap(dst)-base >= total {
+		dst = dst[:base+total]
+	} else {
+		dst = append(dst, make([]byte, total)...)
+	}
+	buf := dst[base:]
 
 	off := 0
 	copy(buf[0:6], b.EthDst[:])
@@ -70,11 +89,15 @@ func (b Builder) Build() []byte {
 		off += NSHLen
 	}
 
-	ipLen := IPv4Len + l4 + len(b.Payload)
+	ipLen := IPv4Len + l4 + payLen
 	buf[off] = 0x45
+	buf[off+1] = 0 // TOS
 	binary.BigEndian.PutUint16(buf[off+2:off+4], uint16(ipLen))
+	binary.BigEndian.PutUint16(buf[off+4:off+6], 0) // ID
+	binary.BigEndian.PutUint16(buf[off+6:off+8], 0) // flags+frag
 	buf[off+8] = ttl
 	buf[off+9] = proto
+	binary.BigEndian.PutUint16(buf[off+10:off+12], 0)
 	copy(buf[off+12:off+16], b.Src[:])
 	copy(buf[off+16:off+20], b.Dst[:])
 	cs := ipChecksum(buf[off : off+IPv4Len])
@@ -84,16 +107,25 @@ func (b Builder) Build() []byte {
 	binary.BigEndian.PutUint16(buf[off:off+2], b.SrcPort)
 	binary.BigEndian.PutUint16(buf[off+2:off+4], b.DstPort)
 	if proto == IPProtoTCP {
+		binary.BigEndian.PutUint32(buf[off+4:off+8], 0)  // seq
+		binary.BigEndian.PutUint32(buf[off+8:off+12], 0) // ack
 		buf[off+12] = 5 << 4
 		buf[off+13] = 0x10 // ACK
 		binary.BigEndian.PutUint16(buf[off+14:off+16], 65535)
+		binary.BigEndian.PutUint16(buf[off+16:off+18], 0) // checksum
+		binary.BigEndian.PutUint16(buf[off+18:off+20], 0) // urgent
 		off += TCPLen
 	} else {
-		binary.BigEndian.PutUint16(buf[off+4:off+6], uint16(UDPLen+len(b.Payload)))
+		binary.BigEndian.PutUint16(buf[off+4:off+6], uint16(UDPLen+payLen))
+		binary.BigEndian.PutUint16(buf[off+6:off+8], 0) // checksum
 		off += UDPLen
 	}
-	copy(buf[off:], b.Payload)
-	return buf
+	if b.Payload != nil {
+		copy(buf[off:], b.Payload)
+	} else {
+		clear(buf[off:])
+	}
+	return dst
 }
 
 // New builds the frame and decodes it into a fresh Packet. It panics if its

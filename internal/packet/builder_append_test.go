@@ -1,0 +1,71 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// builderVariants covers the header combinations AppendTo must serialize
+// identically to Build: UDP/TCP, VLAN, explicit payloads, and the
+// PayloadLen zero-fill path.
+func builderVariants() []Builder {
+	return []Builder{
+		{Src: IPv4Addr{10, 0, 0, 1}, Dst: IPv4Addr{172, 16, 0, 1},
+			SrcPort: 4000, DstPort: 80, Payload: []byte("hello")},
+		{Src: IPv4Addr{10, 9, 8, 7}, Dst: IPv4Addr{172, 16, 0, 2}, Proto: IPProtoTCP,
+			SrcPort: 1234, DstPort: 443, Payload: bytes.Repeat([]byte{0xAB}, 200)},
+		{Src: IPv4Addr{10, 0, 0, 3}, Dst: IPv4Addr{172, 16, 0, 3}, VLANID: 99,
+			SrcPort: 53, DstPort: 53, Payload: []byte("dns")},
+		{Src: IPv4Addr{10, 1, 1, 1}, Dst: IPv4Addr{172, 16, 1, 1},
+			SrcPort: 7, DstPort: 7, PayloadLen: 128}, // nil payload, zero-filled
+		{Src: IPv4Addr{10, 2, 2, 2}, Dst: IPv4Addr{172, 16, 2, 2}, Proto: IPProtoTCP,
+			VLANID: 7, SrcPort: 2000, DstPort: 22, PayloadLen: 64},
+	}
+}
+
+func TestAppendToMatchesBuild(t *testing.T) {
+	for i, b := range builderVariants() {
+		want := b.Build()
+		got := b.AppendTo(nil)
+		if !bytes.Equal(got, want) {
+			t.Errorf("variant %d: AppendTo(nil) diverges from Build", i)
+		}
+		// Decode must accept the result.
+		var p Packet
+		if err := p.Decode(got); err != nil {
+			t.Errorf("variant %d: undecodable: %v", i, err)
+		}
+	}
+}
+
+// TestAppendToRecycledBuffer: writing into a dirty recycled buffer must
+// still produce exact Build bytes — every byte of the frame, including
+// zero fields and the PayloadLen region, must be written, not assumed.
+func TestAppendToRecycledBuffer(t *testing.T) {
+	dirty := bytes.Repeat([]byte{0xFF}, 4096)
+	for i, b := range builderVariants() {
+		want := b.Build()
+		buf := dirty[:0]
+		got := b.AppendTo(buf)
+		if !bytes.Equal(got, want) {
+			t.Errorf("variant %d: AppendTo over dirty buffer diverges from Build", i)
+		}
+		if &got[0] != &dirty[0] {
+			t.Errorf("variant %d: AppendTo must reuse the provided capacity", i)
+		}
+	}
+}
+
+// TestAppendToAppends: with a non-empty destination the frame lands after
+// the existing bytes.
+func TestAppendToAppends(t *testing.T) {
+	b := builderVariants()[0]
+	prefix := []byte("prefix--")
+	out := b.AppendTo(append([]byte(nil), prefix...))
+	if !bytes.Equal(out[:len(prefix)], prefix) {
+		t.Fatal("AppendTo clobbered the destination prefix")
+	}
+	if !bytes.Equal(out[len(prefix):], b.Build()) {
+		t.Fatal("appended frame diverges from Build")
+	}
+}

@@ -58,10 +58,11 @@ type Branch struct {
 
 // pickBranch selects the branch for a packet: filtered branches first in
 // order, then a stable per-flow weighted choice among filterless ones.
-// Returns nil if no branch applies.
+// Returns nil if no branch applies. Two passes over the (short) branch list
+// keep it allocation-free.
 func pickBranch(branches []Branch, p *packet.Packet) *Branch {
-	var weightless []*Branch
 	var totalW float64
+	weightless := 0
 	for i := range branches {
 		b := &branches[i]
 		if b.Filter != nil {
@@ -70,10 +71,10 @@ func pickBranch(branches []Branch, p *packet.Packet) *Branch {
 			}
 			continue
 		}
-		weightless = append(weightless, b)
+		weightless++
 		totalW += b.Weight
 	}
-	if len(weightless) == 0 {
+	if weightless == 0 {
 		return nil
 	}
 	var u float64
@@ -81,16 +82,31 @@ func pickBranch(branches []Branch, p *packet.Packet) *Branch {
 		u = float64(tu.Hash()%100000) / 100000
 	}
 	if totalW <= 0 {
-		return weightless[int(u*float64(len(weightless)))%len(weightless)]
+		idx := int(u*float64(weightless)) % weightless
+		for i := range branches {
+			if branches[i].Filter != nil {
+				continue
+			}
+			if idx == 0 {
+				return &branches[i]
+			}
+			idx--
+		}
 	}
 	acc := 0.0
-	for _, b := range weightless {
+	var last *Branch
+	for i := range branches {
+		b := &branches[i]
+		if b.Filter != nil {
+			continue
+		}
 		acc += b.Weight / totalW
 		if u < acc {
 			return b
 		}
+		last = b
 	}
-	return weightless[len(weightless)-1]
+	return last
 }
 
 // PathEntry is the switch's program for one (SPI, SI) point of a service
@@ -123,6 +139,10 @@ type Switch struct {
 
 	// Counters for tests and the runtime.
 	InFrames, DroppedFrames uint64
+
+	// scratch is the decode buffer for ProcessFrameInPlace; the switch is a
+	// single-goroutine object like the per-deployment simulator driving it.
+	scratch packet.Packet
 }
 
 // NewSwitch builds an empty switch runtime.
@@ -154,8 +174,23 @@ var ErrNoPath = errors.New("pisa: no service path for frame")
 
 // ProcessFrame runs one frame through the switch pipeline and returns the
 // possibly-rewritten frame plus the forwarding decision. env supplies
-// simulated time for any switch-resident NFs that need it.
-func (s *Switch) ProcessFrame(frame []byte, env *nf.Env) (out []byte, fwd Forward, err error) {
+// simulated time for any switch-resident NFs that need it. The input frame
+// buffer is reused for tag rewrites but encap/decap return a fresh buffer.
+func (s *Switch) ProcessFrame(frame []byte, env *nf.Env) ([]byte, Forward, error) {
+	var p packet.Packet
+	return s.process(frame, env, &p, false)
+}
+
+// ProcessFrameInPlace is ProcessFrame for the simulator's zero-allocation
+// fast path: NSH encap grows the frame inside its spare capacity (falling
+// back to a copy only when there is none) and decap shrinks it at the tail,
+// so the returned frame keeps the input's backing array and full capacity —
+// exactly what a pooled-buffer caller needs to recycle it.
+func (s *Switch) ProcessFrameInPlace(frame []byte, env *nf.Env) ([]byte, Forward, error) {
+	return s.process(frame, env, &s.scratch, true)
+}
+
+func (s *Switch) process(frame []byte, env *nf.Env, p *packet.Packet, inPlace bool) (out []byte, fwd Forward, err error) {
 	s.InFrames++
 	mFrames.Inc()
 	defer func() {
@@ -170,7 +205,6 @@ func (s *Switch) ProcessFrame(frame []byte, env *nf.Env) (out []byte, fwd Forwar
 		spi, si, tagged = tSPI, tSI, true
 	}
 
-	var p packet.Packet
 	if err := p.Decode(frame); err != nil {
 		s.DroppedFrames++
 		return nil, Forward{Kind: Dropped}, fmt.Errorf("pisa: undecodable frame: %w", err)
@@ -179,7 +213,7 @@ func (s *Switch) ProcessFrame(frame []byte, env *nf.Env) (out []byte, fwd Forwar
 	if !tagged {
 		matched := false
 		for _, r := range s.rules {
-			if r.Filter == nil || r.Filter.Match(&p) {
+			if r.Filter == nil || r.Filter.Match(p) {
 				spi, si = r.SPI, r.SI
 				matched = true
 				break
@@ -198,7 +232,7 @@ func (s *Switch) ProcessFrame(frame []byte, env *nf.Env) (out []byte, fwd Forwar
 	}
 
 	for _, fn := range e.Apply {
-		fn.Process(&p, env)
+		fn.Process(p, env)
 		if p.Drop {
 			s.DroppedFrames++
 			return nil, Forward{Kind: Dropped}, nil
@@ -210,7 +244,7 @@ func (s *Switch) ProcessFrame(frame []byte, env *nf.Env) (out []byte, fwd Forwar
 	// Compute the outgoing tag: advance past the NFs applied here, or jump
 	// to a branch target (filters first, then per-flow weighted choice).
 	outSPI, outSI := spi, si
-	if b := pickBranch(e.Branches, &p); b != nil {
+	if b := pickBranch(e.Branches, p); b != nil {
 		outSPI, outSI = b.SPI, b.SI
 	} else if e.AdvanceSI > 0 {
 		if si < e.AdvanceSI {
@@ -222,19 +256,29 @@ func (s *Switch) ProcessFrame(frame []byte, env *nf.Env) (out []byte, fwd Forwar
 
 	switch {
 	case e.Encap && !tagged:
-		out, err := nsh.Encap(frame, outSPI, outSI)
+		var enc []byte
+		if inPlace {
+			enc, err = nsh.EncapInPlace(frame, outSPI, outSI)
+		} else {
+			enc, err = nsh.Encap(frame, outSPI, outSI)
+		}
 		if err != nil {
 			s.DroppedFrames++
 			return nil, Forward{Kind: Dropped}, err
 		}
-		frame = out
+		frame = enc
 	case tagged && e.Decap:
-		out, _, _, err := nsh.Decap(frame)
+		var dec []byte
+		if inPlace {
+			dec, _, _, err = nsh.DecapInPlace(frame)
+		} else {
+			dec, _, _, err = nsh.Decap(frame)
+		}
 		if err != nil {
 			s.DroppedFrames++
 			return nil, Forward{Kind: Dropped}, err
 		}
-		frame = out
+		frame = dec
 	case tagged && (outSPI != spi || outSI != si):
 		if err := nsh.SetTag(frame, outSPI, outSI); err != nil {
 			s.DroppedFrames++

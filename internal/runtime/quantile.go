@@ -1,0 +1,57 @@
+package runtime
+
+// quantileSelect returns the k-th smallest element of s (0-based), the exact
+// value sort.Float64s(s); s[k] would produce, in expected O(n) instead of
+// O(n log n). It partially reorders s in place. The pivot choice is a
+// deterministic median-of-three, so the simulator's output never depends on
+// an rng draw the reference engine does not make.
+func quantileSelect(s []float64, k int) float64 {
+	lo, hi := 0, len(s)-1
+	for lo < hi {
+		// Median-of-three pivot, moved to s[lo].
+		mid := lo + (hi-lo)/2
+		if s[mid] < s[lo] {
+			s[mid], s[lo] = s[lo], s[mid]
+		}
+		if s[hi] < s[lo] {
+			s[hi], s[lo] = s[lo], s[hi]
+		}
+		if s[hi] < s[mid] {
+			s[hi], s[mid] = s[mid], s[hi]
+		}
+		s[lo], s[mid] = s[mid], s[lo]
+		pivot := s[lo]
+
+		// Hoare partition.
+		i, j := lo, hi+1
+		for {
+			for {
+				i++
+				if i > hi || s[i] >= pivot {
+					break
+				}
+			}
+			for {
+				j--
+				if s[j] <= pivot {
+					break
+				}
+			}
+			if i >= j {
+				break
+			}
+			s[i], s[j] = s[j], s[i]
+		}
+		s[lo], s[j] = s[j], s[lo]
+
+		switch {
+		case j == k:
+			return s[k]
+		case j > k:
+			hi = j - 1
+		default:
+			lo = j + 1
+		}
+	}
+	return s[k]
+}

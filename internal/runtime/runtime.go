@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"lemur/internal/bess"
 	"lemur/internal/hw"
@@ -34,6 +35,11 @@ import (
 type Testbed struct {
 	D    *metacompiler.Deployment
 	Seed int64
+
+	// Lazily built dense dispatch index for the discrete-time simulator.
+	simOnce sync.Once
+	simIdx  *simIndex
+	simErr  error
 }
 
 // New builds a testbed.

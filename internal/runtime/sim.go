@@ -3,7 +3,6 @@ package runtime
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 	"strconv"
 
 	"lemur/internal/bess"
@@ -21,6 +20,14 @@ import (
 // budgets, overflow into drops, and accumulate queueing latency. It shows
 // the dynamics the LP cannot — queue growth at overload, drop onset, and
 // latency inflation — and doubles as a stress test of the steering fabric.
+//
+// Simulate is the batched, arena-backed fast engine: dense integer subgroup
+// indexing (simIndex), a simPacket freelist with pooled frame buffers
+// recycled through egress/drop, ring-buffer subgroup queues, and in-place
+// NSH encap/decap on every hop. Its output is byte-identical to
+// simulateReference (sim_reference.go) for a fixed seed — same rng draw
+// order, same histogram observation order — which the in-package property
+// tests enforce.
 
 // SimConfig parameterizes a simulation run.
 type SimConfig struct {
@@ -34,6 +41,11 @@ type SimConfig struct {
 	// QueueCap bounds each subgroup's input queue in packets (default 256).
 	QueueCap int
 	Seed     int64
+
+	// debugCheckDelays makes the engine fail if a packet's accumulated
+	// queue wait ever exceeds its total lifetime — the invariant the
+	// per-park accounting restores. Test-only.
+	debugCheckDelays bool
 }
 
 func (c *SimConfig) defaults() {
@@ -66,10 +78,36 @@ type SimResult struct {
 
 // simPacket is one in-flight packet.
 type simPacket struct {
-	chain     int
-	frame     []byte
-	bornSec   float64
-	queuedSec float64 // accumulated queue wait
+	chain       int
+	frame       []byte
+	bornSec     float64
+	queuedSec   float64 // accumulated queue wait across parks
+	enqueuedSec float64 // time of the current park (valid while queued)
+}
+
+// packetRing is a fixed-capacity FIFO of parked packets. Its count includes
+// packets being served in the current drain until popServed removes them,
+// mirroring the reference engine's deferred prefix removal — overflow
+// decisions during a drain must see the in-service packets.
+type packetRing struct {
+	buf  []*simPacket
+	head int
+	n    int
+}
+
+func (r *packetRing) at(i int) *simPacket { return r.buf[(r.head+i)%len(r.buf)] }
+
+func (r *packetRing) push(p *simPacket) {
+	r.buf[(r.head+r.n)%len(r.buf)] = p
+	r.n++
+}
+
+func (r *packetRing) popServed(served int) {
+	for i := 0; i < served; i++ {
+		r.buf[(r.head+i)%len(r.buf)] = nil
+	}
+	r.head = (r.head + served) % len(r.buf)
+	r.n -= served
 }
 
 // Simulate runs the discrete-time simulation with the given offered rates.
@@ -78,6 +116,10 @@ func (tb *Testbed) Simulate(offered []float64, cfg SimConfig) (*SimResult, error
 	in := tb.D.Input
 	if len(offered) != len(in.Chains) {
 		return nil, fmt.Errorf("runtime: offered %d rates for %d chains", len(offered), len(in.Chains))
+	}
+	ix, err := tb.simIndexLazy()
+	if err != nil {
+		return nil, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed*17 + 3))
 	env := &nf.Env{Rand: rng}
@@ -97,51 +139,44 @@ func (tb *Testbed) Simulate(offered []float64, cfg SimConfig) (*SimResult, error
 		gens[ci] = gen
 	}
 
-	// Realized per-packet costs and budgets, keyed by *primary* subgroup
-	// (aliases — merge suffixes installed under sibling SPIs — resolve to
-	// their primary so budgets are not double-counted). SubgroupOf is a map,
-	// so primaries are collected and sorted *before* any rng draw: otherwise
-	// map-iteration order would hand each subgroup a different random cost
-	// from run to run and break seeded reproducibility.
-	costOf := map[*bess.Subgroup]float64{}
-	budgetOf := map[*bess.Subgroup]float64{}
-	queues := map[*bess.Subgroup][]*simPacket{}
-	var primaries []*bess.Subgroup
-	for sub := range tb.D.SubgroupOf {
-		if len(sub.Shares) == 0 {
-			continue // alias
-		}
-		primaries = append(primaries, sub)
-	}
-	sort.Slice(primaries, func(i, j int) bool { return primaries[i].Name < primaries[j].Name })
-	for _, sub := range primaries {
-		psg := tb.D.SubgroupOf[sub]
-		srv, err := in.Topo.ServerByName(psg.Server)
-		if err != nil {
-			return nil, err
-		}
-		cost := in.Topo.EncapCycles + in.Topo.DemuxCycles
-		for _, n := range psg.Nodes {
+	// Realized per-packet costs and per-step budgets, indexed by entry.
+	// The cost draws walk entries[:nPrimary] — name-sorted, the same order
+	// the reference engine draws in, so seeded runs stay byte-identical.
+	ne := len(ix.entries)
+	cost := make([]float64, ne)
+	budget := make([]float64, ne)
+	credit := make([]float64, ne)
+	for i := 0; i < ix.nPrimary; i++ {
+		e := &ix.entries[i]
+		c := in.Topo.EncapCycles + in.Topo.DemuxCycles
+		for _, n := range e.psg.Nodes {
 			worst := in.DB.WorstCycles(n.Class(), n.Inst.Params)
 			floor := profile.NoiseFloor(n.Class())
-			cost += worst * (floor + rng.Float64()*(1-floor))
+			c += worst * (floor + rng.Float64()*(1-floor))
 		}
-		if crossSocket(srv, tb.D.Shares[psg]) {
-			cost *= in.Topo.CrossSocketPenalty
+		if e.cross {
+			c *= in.Topo.CrossSocketPenalty
 		}
-		costOf[sub] = cost
-		budgetOf[sub] = float64(psg.Cores) * srv.ClockHz * cfg.StepSec / cfg.Scale
+		cost[i] = c
+		budget[i] = float64(e.psg.Cores) * e.srv.ClockHz * cfg.StepSec / cfg.Scale
+	}
+
+	// Ring queues, one per entry (orphan entries have zero budget and are
+	// never drained; their rings only absorb parks until overflow).
+	rings := make([]packetRing, ne)
+	for i := range rings {
+		rings[i].buf = make([]*simPacket, cfg.QueueCap)
 	}
 
 	// Per-subgroup and per-core metric handles, hoisted so the step loop
 	// pays one atomic branch per observation. Handle slices are indexed in
 	// primaries (sorted) order, keeping observation order — and therefore
 	// histogram float sums — deterministic for a fixed seed.
-	qDepthH := make([]*obs.Histogram, len(primaries))
-	qDelayH := make([]*obs.Histogram, len(primaries))
-	coreUtilH := make([][]*obs.Histogram, len(primaries))
-	for i, sub := range primaries {
-		psg := tb.D.SubgroupOf[sub]
+	qDepthH := make([]*obs.Histogram, ix.nPrimary)
+	qDelayH := make([]*obs.Histogram, ix.nPrimary)
+	coreUtilH := make([][]*obs.Histogram, ix.nPrimary)
+	for i := 0; i < ix.nPrimary; i++ {
+		psg := ix.entries[i].psg
 		qDepthH[i] = obs.H("lemur_sim_queue_depth", obs.L("subgroup", psg.Name()))
 		qDelayH[i] = obs.H("lemur_sim_queue_delay_seconds", obs.L("subgroup", psg.Name()))
 		for _, cs := range tb.D.Shares[psg] {
@@ -173,33 +208,87 @@ func (tb *Testbed) Simulate(offered []float64, cfg SimConfig) (*SimResult, error
 		drpC[ci].Inc()
 	}
 	queueDelay := make([]float64, len(offered))
-	delaySamples := make([][]float64, len(offered))
 	frameBits := in.FrameBitsOrDefault()
+
+	// Delay samples pre-sized from expected injections to kill append churn.
+	delaySamples := make([][]float64, len(offered))
+	for ci := range offered {
+		expect := int(offered[ci]/frameBits/cfg.Scale*cfg.DurationSec) + 16
+		delaySamples[ci] = make([]float64, 0, expect)
+	}
+
+	// Arena: simPacket freelist and recycled frame buffers. Every packet
+	// death (egress or drop) returns both; every buffer swap an NF forces
+	// (e.g. Tunnel reallocating the frame) retires the old buffer here too.
+	var freePkts []*simPacket
+	getPkt := func() *simPacket {
+		if n := len(freePkts); n > 0 {
+			p := freePkts[n-1]
+			freePkts = freePkts[:n-1]
+			return p
+		}
+		return &simPacket{}
+	}
+	putPkt := func(p *simPacket) {
+		p.frame = nil
+		freePkts = append(freePkts, p)
+	}
+	var freeBufs [][]byte
+	getBuf := func() []byte {
+		if n := len(freeBufs); n > 0 {
+			b := freeBufs[n-1]
+			freeBufs = freeBufs[:n-1]
+			return b
+		}
+		return nil
+	}
+	putBuf := func(b []byte) {
+		if cap(b) > 0 {
+			freeBufs = append(freeBufs, b[:0])
+		}
+	}
 
 	// Fractional arrival accumulators.
 	acc := make([]float64, len(offered))
 	steps := int(cfg.DurationSec / cfg.StepSec)
 
+	// egress/die finalize a packet and recycle its arena resources.
+	egress := func(p *simPacket, frame []byte) {
+		res.Egressed[p.chain]++
+		egrC[p.chain].Inc()
+		queueDelay[p.chain] += p.queuedSec
+		delaySamples[p.chain] = append(delaySamples[p.chain], p.queuedSec)
+		putBuf(frame)
+		putPkt(p)
+	}
+	die := func(p *simPacket, frame []byte) {
+		drop(p.chain)
+		putBuf(frame)
+		putPkt(p)
+	}
+
 	// advance walks a packet from the switch until it egresses, drops, or
-	// parks in a subgroup queue (returns the subgroup it parked at).
-	advance := func(p *simPacket, now float64, credit map[*bess.Subgroup]float64) (parked bool, err error) {
+	// parks in a subgroup queue. All hops run in place over the packet's
+	// pooled buffer; the base-pointer checks catch NFs that swap buffers
+	// and retire the orphaned one to the pool.
+	advance := func(p *simPacket, now float64) (parked bool, err error) {
 		frame := p.frame
 		for hop := 0; hop < maxWalkHops; hop++ {
-			out, fwd, perr := tb.D.Switch.ProcessFrame(frame, env)
+			out, fwd, perr := tb.D.Switch.ProcessFrameInPlace(frame, env)
 			if perr != nil {
 				return false, perr
 			}
 			switch fwd.Kind {
 			case pisa.Egress:
-				res.Egressed[p.chain]++
-				egrC[p.chain].Inc()
-				queueDelay[p.chain] += p.queuedSec
-				delaySamples[p.chain] = append(delaySamples[p.chain], p.queuedSec)
+				egress(p, out)
 				return false, nil
 			case pisa.Dropped:
-				drop(p.chain)
+				die(p, frame)
 				return false, nil
 			case pisa.Continue:
+				if &out[0] != &frame[0] {
+					putBuf(frame)
+				}
 				frame = out
 				continue
 			case pisa.ToServer:
@@ -207,38 +296,45 @@ func (tb *Testbed) Simulate(offered []float64, cfg SimConfig) (*SimResult, error
 				if pl == nil {
 					return false, fmt.Errorf("runtime: no pipeline %q", fwd.Target)
 				}
-				spi, si, terr := nsh.Tag(out)
+				if &out[0] != &frame[0] {
+					putBuf(frame)
+				}
+				frame = out
+				spi, si, terr := nsh.Tag(frame)
 				if terr != nil {
 					return false, terr
 				}
-				sub := pl.SubgroupFor(spi, si)
-				if sub == nil {
+				idx := ix.lookup(pl, spi, si)
+				if idx < 0 {
 					return false, fmt.Errorf("runtime: no subgroup for spi=%d si=%d", spi, si)
 				}
-				prim := primaryOf(tb, sub)
-				cost := costOf[prim]
-				if cost == 0 {
-					cost = sub.CyclesPerPkt
+				c := cost[idx]
+				if c == 0 {
+					c = ix.entries[idx].sub.CyclesPerPkt
 				}
-				if credit[prim] < cost {
+				if credit[idx] < c {
 					// Out of budget this step: park the packet.
-					q := queues[prim]
-					if len(q) >= cfg.QueueCap {
-						drop(p.chain)
+					r := &rings[idx]
+					if r.n >= cfg.QueueCap {
+						die(p, frame)
 						return false, nil
 					}
-					p.frame = out
-					queues[prim] = append(q, p)
+					p.frame = frame
+					p.enqueuedSec = now
+					r.push(p)
 					return true, nil
 				}
-				credit[prim] -= cost
-				next, perr := pl.ProcessFrame(out, env)
+				credit[idx] -= c
+				next, perr := pl.ProcessFrameInPlace(frame, env)
 				if perr != nil {
 					return false, perr
 				}
 				if next == nil {
-					drop(p.chain)
+					die(p, frame)
 					return false, nil
+				}
+				if &next[0] != &frame[0] {
+					putBuf(frame)
 				}
 				frame = next
 			case pisa.ToNIC:
@@ -246,91 +342,106 @@ func (tb *Testbed) Simulate(offered []float64, cfg SimConfig) (*SimResult, error
 				if nic == nil {
 					return false, fmt.Errorf("runtime: no NIC %q", fwd.Target)
 				}
-				next, perr := nic.ProcessFrame(out, env)
+				if &out[0] != &frame[0] {
+					putBuf(frame)
+				}
+				frame = out
+				next, perr := nic.ProcessFrameInPlace(frame, env)
 				if perr != nil {
 					return false, perr
 				}
 				if next == nil {
-					drop(p.chain)
+					die(p, frame)
 					return false, nil
+				}
+				if &next[0] != &frame[0] {
+					putBuf(frame)
 				}
 				frame = next
 			default:
 				return false, fmt.Errorf("runtime: unsupported forward %v", fwd.Kind)
 			}
 		}
-		drop(p.chain)
+		die(p, frame)
 		return false, nil
 	}
 
 	// resume continues a parked packet from its subgroup.
-	resume := func(p *simPacket, pl *bess.Pipeline, now float64, credit map[*bess.Subgroup]float64) (bool, error) {
-		next, perr := pl.ProcessFrame(p.frame, env)
+	resume := func(p *simPacket, pl *bess.Pipeline, now float64) (bool, error) {
+		old := p.frame
+		next, perr := pl.ProcessFrameInPlace(old, env)
 		if perr != nil {
 			return false, perr
 		}
 		if next == nil {
-			drop(p.chain)
+			die(p, old)
 			return false, nil
 		}
+		if &next[0] != &old[0] {
+			putBuf(old)
+		}
 		p.frame = next
-		return advance(p, now, credit)
+		return advance(p, now)
 	}
 
 	// Credits carry over between steps (bounded to two quanta) so service
 	// capacity is not floored to whole packets per step.
-	credit := map[*bess.Subgroup]float64{}
+	stepCredit := make([]float64, ix.nPrimary)
 	for step := 0; step < steps; step++ {
 		now := float64(step) * cfg.StepSec
 		env.NowSec = now
-		for sub, b := range budgetOf {
-			c := credit[sub] + b
-			if c > 2*b {
-				c = 2 * b
+		for i := 0; i < ix.nPrimary; i++ {
+			c := credit[i] + budget[i]
+			if max := 2 * budget[i]; c > max {
+				c = max
 			}
-			credit[sub] = c
+			credit[i] = c
 		}
 		// Step-start credit, to derive how much of each budget this step spends.
-		stepCredit := make([]float64, len(primaries))
-		for pi, sub := range primaries {
-			stepCredit[pi] = credit[sub]
-		}
+		copy(stepCredit, credit[:ix.nPrimary])
 		// Drain queues first (FIFO), oldest packets retain their wait time.
-		for pi, sub := range primaries {
-			q := queues[sub]
-			qDepthH[pi].Observe(float64(len(q)))
-			if len(q) == 0 {
+		// Serving one subgroup's backlog back-to-back keeps its pipeline
+		// (and NF state) hot across the batch.
+		for pi := 0; pi < ix.nPrimary; pi++ {
+			r := &rings[pi]
+			qDepthH[pi].Observe(float64(r.n))
+			if r.n == 0 {
 				continue
 			}
-			pl := pipelineOf(tb, sub)
-			cost := costOf[sub]
+			pl := ix.entries[pi].pipe
+			c := cost[pi]
+			n0 := r.n
 			served := 0
-			for _, p := range q {
-				if credit[sub] < cost {
+			for k := 0; k < n0; k++ {
+				if credit[pi] < c {
 					break
 				}
-				credit[sub] -= cost
-				p.queuedSec += now - p.bornSec // approximation: waited since arrival
+				credit[pi] -= c
+				p := r.at(k)
+				p.queuedSec += now - p.enqueuedSec // actual wait since this park
+				if cfg.debugCheckDelays && p.queuedSec > now-p.bornSec+1e-9 {
+					return nil, fmt.Errorf("runtime: queue delay %.9f exceeds packet lifetime %.9f",
+						p.queuedSec, now-p.bornSec)
+				}
 				qDelayH[pi].Observe(p.queuedSec)
-				if _, err := resume(p, pl, now, credit); err != nil {
+				served++
+				if _, err := resume(p, pl, now); err != nil {
 					return nil, err
 				}
-				served++
 			}
-			if served > 0 {
-				queues[sub] = append([]*simPacket{}, q[served:]...)
-			}
+			r.popServed(served)
 		}
-		// New arrivals.
+		// New arrivals, injected in per-chain bursts over pooled buffers.
 		for ci := range offered {
 			acc[ci] += offered[ci] / frameBits / cfg.Scale * cfg.StepSec
 			for acc[ci] >= 1 {
 				acc[ci]--
-				pkt := gens[ci].Next(now)
+				frame := gens[ci].NextInto(getBuf(), now)
 				res.Injected[ci]++
 				injC[ci].Inc()
-				p := &simPacket{chain: ci, frame: pkt.Data, bornSec: now}
-				if _, err := advance(p, now, credit); err != nil {
+				p := getPkt()
+				p.chain, p.frame, p.bornSec, p.queuedSec = ci, frame, now, 0
+				if _, err := advance(p, now); err != nil {
 					return nil, err
 				}
 			}
@@ -338,11 +449,11 @@ func (tb *Testbed) Simulate(offered []float64, cfg SimConfig) (*SimResult, error
 		// Per-core cycle-budget utilization this step: the fraction of the
 		// step's credit (budget plus bounded carry-over) actually consumed.
 		// Cores of one subgroup share uniformly, so they record the same value.
-		for pi, sub := range primaries {
+		for pi := 0; pi < ix.nPrimary; pi++ {
 			if stepCredit[pi] <= 0 {
 				continue
 			}
-			util := (stepCredit[pi] - credit[sub]) / stepCredit[pi]
+			util := (stepCredit[pi] - credit[pi]) / stepCredit[pi]
 			for _, h := range coreUtilH[pi] {
 				h.Observe(util)
 			}
@@ -358,39 +469,8 @@ func (tb *Testbed) Simulate(offered []float64, cfg SimConfig) (*SimResult, error
 		if n := res.Egressed[ci]; n > 0 {
 			res.AvgQueueDelaySec[ci] = queueDelay[ci] / float64(n)
 			s := delaySamples[ci]
-			sort.Float64s(s)
-			res.P99QueueDelaySec[ci] = s[(len(s)*99)/100]
+			res.P99QueueDelaySec[ci] = quantileSelect(s, (len(s)*99)/100)
 		}
 	}
 	return res, nil
-}
-
-// pipelineOf finds the pipeline hosting a subgroup.
-func pipelineOf(tb *Testbed, sub *bess.Subgroup) *bess.Pipeline {
-	for _, pl := range tb.D.Pipelines {
-		for _, sg := range pl.Subgroups() {
-			if sg == sub {
-				return pl
-			}
-		}
-	}
-	return nil
-}
-
-// primaryOf resolves an alias subgroup (merge suffix installed under a
-// sibling SPI) to the primary that carries the cost/budget accounting.
-func primaryOf(tb *Testbed, sub *bess.Subgroup) *bess.Subgroup {
-	if len(sub.Shares) > 0 {
-		return sub
-	}
-	psg := tb.D.SubgroupOf[sub]
-	if psg == nil {
-		return sub
-	}
-	for other, cand := range tb.D.SubgroupOf {
-		if cand == psg && len(other.Shares) > 0 {
-			return other
-		}
-	}
-	return sub
 }

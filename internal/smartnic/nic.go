@@ -33,6 +33,10 @@ type NIC struct {
 
 	// Counters.
 	InFrames, DroppedFrames uint64
+
+	// scratch is the decode buffer for ProcessFrameInPlace; a NIC is a
+	// single-goroutine object like the per-deployment simulator driving it.
+	scratch packet.Packet
 }
 
 // NewNIC builds an empty NIC runtime.
@@ -69,8 +73,22 @@ func (n *NIC) CapacityPPS(serverClockHz, worstCycles float64) float64 {
 }
 
 // ProcessFrame runs one NSH-tagged frame through the NIC: XDP program, NF
-// bodies, SI advance. A nil frame with nil error is a drop.
-func (n *NIC) ProcessFrame(frame []byte, env *nf.Env) (out []byte, rerr error) {
+// bodies, SI advance. A nil frame with nil error is a drop. The input frame
+// is never mutated.
+func (n *NIC) ProcessFrame(frame []byte, env *nf.Env) ([]byte, error) {
+	var p packet.Packet
+	return n.process(frame, env, &p, false)
+}
+
+// ProcessFrameInPlace is ProcessFrame for the simulator's zero-allocation
+// fast path: NSH decap/re-encap shift the L2 header inside frame's own
+// backing array, so a NIC hop whose NFs rewrite the packet in place performs
+// no allocation and no payload copy.
+func (n *NIC) ProcessFrameInPlace(frame []byte, env *nf.Env) ([]byte, error) {
+	return n.process(frame, env, &n.scratch, true)
+}
+
+func (n *NIC) process(frame []byte, env *nf.Env, p *packet.Packet, inPlace bool) (out []byte, rerr error) {
 	n.InFrames++
 	mFrames.Inc()
 	defer func() {
@@ -78,7 +96,15 @@ func (n *NIC) ProcessFrame(frame []byte, env *nf.Env) (out []byte, rerr error) {
 			mDrops.Inc()
 		}
 	}()
-	inner, spi, si, err := nsh.Decap(frame)
+	var inner []byte
+	var spi uint32
+	var si uint8
+	var err error
+	if inPlace {
+		inner, spi, si, err = nsh.DecapShift(frame)
+	} else {
+		inner, spi, si, err = nsh.Decap(frame)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("smartnic: %w", err)
 	}
@@ -94,12 +120,11 @@ func (n *NIC) ProcessFrame(frame []byte, env *nf.Env) (out []byte, rerr error) {
 		n.DroppedFrames++
 		return nil, nil
 	}
-	var p packet.Packet
 	if err := p.Decode(inner); err != nil {
 		return nil, fmt.Errorf("smartnic: %w", err)
 	}
 	for _, fn := range pp.NFs {
-		fn.Process(&p, env)
+		fn.Process(p, env)
 		if p.Drop {
 			n.DroppedFrames++
 			return nil, nil
@@ -108,6 +133,12 @@ func (n *NIC) ProcessFrame(frame []byte, env *nf.Env) (out []byte, rerr error) {
 	p.SyncHeaders()
 	if si < pp.AdvanceSI {
 		return nil, fmt.Errorf("smartnic: SI underflow (si=%d advance=%d)", si, pp.AdvanceSI)
+	}
+	if inPlace && len(p.Data) == len(inner) && &p.Data[0] == &inner[0] {
+		if err := nsh.EncapShift(frame, spi, si-pp.AdvanceSI); err != nil {
+			return nil, err
+		}
+		return frame, nil
 	}
 	return nsh.Encap(p.Data, spi, si-pp.AdvanceSI)
 }

@@ -324,11 +324,14 @@ func (d *Deployment) AutoGeneratedShare() float64 {
 }
 
 // SimReport summarizes a discrete-time simulation run: per-chain goodput,
-// loss, and mean queueing delay at server subgroups.
+// loss, queueing delay at server subgroups, and packet accounting.
 type SimReport struct {
 	AchievedBps      []float64
 	DropRate         []float64
 	AvgQueueDelaySec []float64
+	P99QueueDelaySec []float64
+	Injected         []int
+	Egressed         []int
 }
 
 // Simulate runs the discrete-time packet simulator with every chain
@@ -349,5 +352,8 @@ func (d *Deployment) Simulate(loadFactor float64) (*SimReport, error) {
 		AchievedBps:      sim.AchievedBps,
 		DropRate:         sim.DropRate,
 		AvgQueueDelaySec: sim.AvgQueueDelaySec,
+		P99QueueDelaySec: sim.P99QueueDelaySec,
+		Injected:         sim.Injected,
+		Egressed:         sim.Egressed,
 	}, nil
 }
