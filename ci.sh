@@ -14,10 +14,30 @@ echo "==> go test -race ./..."
 go test -race ./...
 
 # The parallel placement engine, experiment runner (incl. the parallel sim
-# sweep), and batched simulator get an extra race pass with their property
-# tests un-shortened (the ./... run above may cache).
-echo "==> go test -race -count=1 ./internal/placer ./internal/experiments ./internal/runtime"
-go test -race -count=1 ./internal/placer ./internal/experiments ./internal/runtime
+# and failover sweeps), batched simulator, and the fault-injection stack
+# (chaos plans, incremental rewire) get an extra race pass with their
+# property tests un-shortened (the ./... run above may cache).
+echo "==> go test -race -count=1 ./internal/placer ./internal/experiments ./internal/runtime ./internal/chaos ./internal/metacompiler"
+go test -race -count=1 ./internal/placer ./internal/experiments ./internal/runtime ./internal/chaos ./internal/metacompiler
+
+# Fuzz smoke: ten seconds of FuzzReplace exercises the incremental
+# re-placement invariants (pinning, no-failure identity) beyond the seed
+# corpus.
+echo "==> fuzz smoke (FuzzReplace, 10s)"
+go test -run '^$' -fuzz 'FuzzReplace' -fuzztime=10s ./internal/placer
+
+# Coverage gate: total statement coverage must not regress below the
+# recorded baseline (80.0% when this gate was added; floor leaves a small
+# margin for counter noise).
+COVERAGE_FLOOR=79.0
+echo "==> coverage gate (floor ${COVERAGE_FLOOR}%)"
+go test -coverprofile=/tmp/lemur-cover.out ./... > /dev/null
+total=$(go tool cover -func=/tmp/lemur-cover.out | awk '/^total:/ {gsub(/%/, "", $NF); print $NF}')
+echo "    total coverage: ${total}%"
+awk -v t="$total" -v f="$COVERAGE_FLOOR" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || {
+  echo "ci: coverage ${total}% fell below the ${COVERAGE_FLOOR}% floor" >&2
+  exit 1
+}
 
 # Allocation-regression guard: the arena-backed simulator must stay under its
 # fixed allocs-per-packet budget (testing.AllocsPerRun inside the test).

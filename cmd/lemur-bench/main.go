@@ -11,6 +11,7 @@
 //	lemur-bench -loc              # §5.3 meta-compiler LoC accounting
 //	lemur-bench -scaling          # §5.3 placement computation time
 //	lemur-bench -feasibility      # feasible-solution shares per scheme
+//	lemur-bench -failover         # SLO compliance under k server failures
 package main
 
 import (
@@ -42,6 +43,7 @@ func main() {
 		parallel    = flag.Int("parallel", 0, "worker count for experiment cells and placer candidate evaluation (0 = GOMAXPROCS cells, serial placer)")
 		benchOut    = flag.String("bench-out", "", "run the placement micro-benchmark sweep and write ns/op + cache stats to this JSON path")
 		sim         = flag.Bool("sim", false, "parallel load-factor sweep with the discrete-time dataplane simulator")
+		failover    = flag.Bool("failover", false, "SLO compliance under k server failures (parallel fault-injection sweep)")
 	)
 	flag.Parse()
 	if *metrics != "" {
@@ -63,6 +65,8 @@ func main() {
 		runBenchOut(*benchOut, *parallel)
 	case *sim:
 		runSimSweep(*parallel)
+	case *failover:
+		runFailover(*parallel)
 	case *figure != "":
 		runFigure(*figure, deltas, *quick)
 	case *table == "3":

@@ -227,6 +227,26 @@ func (pl *Pipeline) Add(sg *Subgroup) error {
 // Subgroups returns the installed subgroups in insertion order.
 func (pl *Pipeline) Subgroups() []*Subgroup { return pl.groups }
 
+// RemoveSPIRange uninstalls every subgroup whose SPI lies in [lo, hi] and
+// returns the removed subgroups in their former insertion order. Chains own
+// disjoint SPI ranges, so a failover rewire retracts exactly one chain's
+// subgroups (freeing their core shares) without disturbing the rest of the
+// pipeline.
+func (pl *Pipeline) RemoveSPIRange(lo, hi uint32) []*Subgroup {
+	var removed []*Subgroup
+	kept := pl.groups[:0]
+	for _, sg := range pl.groups {
+		if sg.SPI >= lo && sg.SPI <= hi {
+			delete(pl.entries, pathKey(sg.SPI, sg.EntrySI))
+			removed = append(removed, sg)
+			continue
+		}
+		kept = append(kept, sg)
+	}
+	pl.groups = kept
+	return removed
+}
+
 // SubgroupFor returns the subgroup serving (spi, si), or nil — used by the
 // discrete-time simulator to charge the right queue before processing.
 func (pl *Pipeline) SubgroupFor(spi uint32, si uint8) *Subgroup {

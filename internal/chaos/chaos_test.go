@@ -1,0 +1,158 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseSingleCrash(t *testing.T) {
+	p, err := Parse("crash:nf-server-1@0.3s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{{Kind: Crash, Target: "nf-server-1", AtSec: 0.3}}
+	if !reflect.DeepEqual(p.Events, want) {
+		t.Fatalf("got %+v want %+v", p.Events, want)
+	}
+}
+
+func TestParseFormats(t *testing.T) {
+	usec := 1e-6 // runtime multiply, matching the parser's float arithmetic
+	cases := []struct {
+		in   string
+		want Event
+	}{
+		{"crash:s1@300ms", Event{Kind: Crash, Target: "s1", AtSec: 0.3}},
+		{"crash:s1@0.25", Event{Kind: Crash, Target: "s1", AtSec: 0.25}},
+		{"crash:s1@100us", Event{Kind: Crash, Target: "s1", AtSec: 100 * usec}},
+		{"degrade:nic0@0.1s", Event{Kind: LinkDegrade, Target: "nic0", AtSec: 0.1, Factor: 0.5}},
+		{"degrade:nic0@0.1sx0.25", Event{Kind: LinkDegrade, Target: "nic0", AtSec: 0.1, Factor: 0.25}},
+		{"overload:s2@50msx8", Event{Kind: NFOverload, Target: "s2", AtSec: 0.05, Factor: 8}},
+		{"overload:s2@0.05s", Event{Kind: NFOverload, Target: "s2", AtSec: 0.05, Factor: 4}},
+		{" kill:s1@1s ", Event{Kind: Crash, Target: "s1", AtSec: 1}},
+	}
+	for _, c := range cases {
+		p, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("%q: %v", c.in, err)
+		}
+		if len(p.Events) != 1 || p.Events[0] != c.want {
+			t.Fatalf("%q: got %+v want %+v", c.in, p.Events, c.want)
+		}
+	}
+}
+
+func TestParseMultiSortedByTime(t *testing.T) {
+	p, err := Parse("crash:b@0.4s;degrade:a@0.1sx0.5,overload:c@0.2sx2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Events) != 3 {
+		t.Fatalf("want 3 events, got %d", len(p.Events))
+	}
+	for i := 1; i < len(p.Events); i++ {
+		if p.Events[i-1].AtSec > p.Events[i].AtSec {
+			t.Fatalf("events not sorted: %+v", p.Events)
+		}
+	}
+	if p.Events[2].Target != "b" {
+		t.Fatalf("latest event should be the crash of b: %+v", p.Events)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		"boom:s1@0.1s",         // unknown kind
+		"crash:s1",             // no time
+		"crash:@0.1s",          // empty target
+		"crash:s1@zebra",       // bad time
+		"crash:s1@-1s",         // negative time
+		"degrade:s1@0.1sx1.5",  // degrade factor > 1
+		"overload:s1@0.1sx0.5", // overload factor < 1
+		"nocolon",
+	} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q): want error, got nil", in)
+		}
+	}
+}
+
+func TestParseEmptyIsEmptyPlan(t *testing.T) {
+	for _, in := range []string{"", " ", ";;", ", ,"} {
+		p, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		if !p.Empty() {
+			t.Fatalf("Parse(%q): want empty plan, got %+v", in, p.Events)
+		}
+	}
+	var nilPlan *Plan
+	if !nilPlan.Empty() {
+		t.Fatal("nil plan must be Empty")
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	p, err := Parse("crash:s1@0.3s;degrade:nic@0.1sx0.25;overload:s2@0.2sx8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", p.String(), err)
+	}
+	if !reflect.DeepEqual(p.Events, p2.Events) {
+		t.Fatalf("round trip changed events:\n  %+v\n  %+v", p.Events, p2.Events)
+	}
+}
+
+func TestDelaysDefaultsAndOverrides(t *testing.T) {
+	var nilPlan *Plan
+	d, r := nilPlan.Delays()
+	if d != DefaultDetectionDelaySec || r != DefaultReconfigDelaySec {
+		t.Fatalf("nil plan delays: got %g,%g", d, r)
+	}
+	p := &Plan{DetectionDelaySec: 0.001, ReconfigDelaySec: 0.002}
+	d, r = p.Delays()
+	if d != 0.001 || r != 0.002 {
+		t.Fatalf("override delays: got %g,%g", d, r)
+	}
+	// Negative means "explicitly zero" (instant failover).
+	p = &Plan{DetectionDelaySec: -1, ReconfigDelaySec: -1}
+	d, r = p.Delays()
+	if d != 0 || r != 0 {
+		t.Fatalf("explicit-zero delays: got %g,%g", d, r)
+	}
+}
+
+func TestRandomPlanDeterministic(t *testing.T) {
+	targets := []string{"nf-server-1", "nf-server-2", "nf-server-3"}
+	a := RandomPlan(42, targets, 2, 0.5)
+	b := RandomPlan(42, targets, 2, 0.5)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different plans:\n  %+v\n  %+v", a, b)
+	}
+	if len(a.Events) != 2 {
+		t.Fatalf("want 2 events, got %d", len(a.Events))
+	}
+	seen := map[string]bool{}
+	for _, e := range a.Events {
+		if e.Kind != Crash {
+			t.Fatalf("RandomPlan yields crashes only, got %v", e.Kind)
+		}
+		if e.AtSec <= 0 || e.AtSec >= 0.5 {
+			t.Fatalf("event time %g outside (0, 0.5)", e.AtSec)
+		}
+		if seen[e.Target] {
+			t.Fatalf("duplicate target %q", e.Target)
+		}
+		seen[e.Target] = true
+	}
+	if c := RandomPlan(7, targets, 99, 1.0); len(c.Events) != len(targets) {
+		t.Fatalf("n capped at len(targets): got %d", len(c.Events))
+	}
+	if e := RandomPlan(7, nil, 3, 1.0); !e.Empty() {
+		t.Fatalf("no targets must give empty plan")
+	}
+}

@@ -1,0 +1,197 @@
+package metacompiler
+
+import (
+	"strings"
+	"testing"
+
+	"lemur/internal/hw"
+	"lemur/internal/placer"
+)
+
+// twoChainSpec places two server-using chains so that killing one server
+// affects only the chain(s) routed through it.
+const twoChainSpec = `
+chain alpha {
+  slo { tmin = 2Gbps  tmax = 100Gbps }
+  aggregate { src = 10.1.0.0/16 }
+  mon0 = Monitor()
+  fwd0 = IPv4Fwd()
+  mon0 -> fwd0
+}
+chain beta {
+  slo { tmin = 2Gbps  tmax = 100Gbps }
+  aggregate { src = 10.2.0.0/16 }
+  nat0 = NAT()
+  fwd0 = IPv4Fwd()
+  nat0 -> fwd0
+}`
+
+func TestRewireIncremental(t *testing.T) {
+	in, d := compileSpec(t, hw.NewPaperTestbed(hw.WithServers(2)), twoChainSpec)
+	prev := d.Result
+
+	// Fail the server hosting beta's (or alpha's) subgroup.
+	victim := prev.Subgroups[len(prev.Subgroups)-1].Server
+	failed := placer.NewNodeSet(victim)
+	dead := failed.Expand(in.Topo)
+	affected := placer.AffectedChains(in, prev, dead)
+	if len(affected) == 0 {
+		t.Fatalf("no affected chains for victim %s", victim)
+	}
+	next, err := placer.Replace(prev, in, failed)
+	if err != nil {
+		t.Fatalf("Replace: %v", err)
+	}
+
+	affectedSet := map[int]bool{}
+	for _, ci := range affected {
+		affectedSet[ci] = true
+	}
+	// Snapshot the pinned chains' switch entries (pointer identity) before
+	// the rewire: these exact objects must survive.
+	type key struct {
+		spi uint32
+		si  uint8
+	}
+	pinnedPtr := map[key]interface{}{}
+	for ci := range in.Chains {
+		if affectedSet[ci] {
+			continue
+		}
+		lo, hi := chainSPIRange(ci)
+		for spi := lo; spi <= hi; spi++ {
+			for si := 0; si <= 64; si++ {
+				if e := d.Switch.Entry(spi, uint8(si)); e != nil {
+					pinnedPtr[key{spi, uint8(si)}] = e
+				}
+			}
+		}
+	}
+
+	rep, err := d.Rewire(next, affected)
+	if err != nil {
+		t.Fatalf("Rewire: %v", err)
+	}
+	if d.Result != next {
+		t.Fatal("Rewire did not swap the deployment result")
+	}
+	if rep.KeptSwitchEntries != len(pinnedPtr) {
+		t.Fatalf("report says %d kept entries, pinned chains own %d", rep.KeptSwitchEntries, len(pinnedPtr))
+	}
+	for k, want := range pinnedPtr {
+		if got := d.Switch.Entry(k.spi, k.si); interface{}(got) != want {
+			t.Fatalf("pinned switch entry spi=%d si=%d was touched by the rewire", k.spi, k.si)
+		}
+	}
+
+	// No server pipeline on the dead host carries subgroups, and no
+	// remaining subgroup maps to a dead placer subgroup.
+	for name, pl := range d.Pipelines {
+		if dead[name] && len(pl.Subgroups()) != 0 {
+			t.Fatalf("dead server %s still has %d subgroups installed", name, len(pl.Subgroups()))
+		}
+		for _, bsg := range pl.Subgroups() {
+			psg := d.SubgroupOf[bsg]
+			if psg != nil && dead[psg.Server] {
+				t.Fatalf("subgroup %s still mapped to dead server %s", bsg.Name, psg.Server)
+			}
+		}
+	}
+
+	// Core shares remain disjoint per server and only cover live subgroups.
+	for _, srv := range in.Topo.Servers {
+		usedBy := map[int]string{}
+		for psg, shares := range d.Shares {
+			if psg.Server != srv.Name {
+				continue
+			}
+			for _, s := range shares {
+				if owner, clash := usedBy[s.Core]; clash {
+					t.Fatalf("server %s core %d assigned to both %s and %s", srv.Name, s.Core, owner, psg.Name())
+				}
+				usedBy[s.Core] = psg.Name()
+				if s.Core < srv.ReservedCores {
+					t.Fatalf("subgroup %s claimed reserved core %d", psg.Name(), s.Core)
+				}
+			}
+		}
+	}
+	for psg := range d.Shares {
+		found := false
+		for _, live := range next.Subgroups {
+			if psg == live {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("stale share entry for removed subgroup %s", psg.Name())
+		}
+	}
+
+	// Every affected chain is fully re-emitted: its classifier rule exists
+	// and its path entries resolve end to end.
+	if d.Switch.ClassifierRuleCount() != len(in.Chains) {
+		t.Fatalf("want %d classifier rules after rewire, got %d", len(in.Chains), d.Switch.ClassifierRuleCount())
+	}
+	if rep.InstalledSubgroups == 0 && rep.RemovedSubgroups > 0 {
+		t.Fatalf("rewire removed %d subgroups but installed none", rep.RemovedSubgroups)
+	}
+	if !strings.Contains(rep.String(), "rewire:") {
+		t.Fatalf("report String malformed: %s", rep.String())
+	}
+
+	// Rewiring twice from the same prev state is deterministic: a second
+	// deployment compiled from scratch and rewired identically must agree
+	// on the report.
+	in2, d2 := compileSpec(t, hw.NewPaperTestbed(hw.WithServers(2)), twoChainSpec)
+	next2, err := placer.Replace(d2.Result, in2, placer.NewNodeSet(victim))
+	if err != nil {
+		t.Fatalf("Replace 2: %v", err)
+	}
+	rep2, err := d2.Rewire(next2, placer.AffectedChains(in2, d2.Result, placer.NewNodeSet(victim).Expand(in2.Topo)))
+	if err != nil {
+		t.Fatalf("Rewire 2: %v", err)
+	}
+	if rep.String() != rep2.String() {
+		t.Fatalf("rewire not deterministic:\n  %s\n  %s", rep, rep2)
+	}
+}
+
+func TestRewireRejectsInfeasible(t *testing.T) {
+	_, d := compileSpec(t, hw.NewPaperTestbed(hw.WithServers(2)), twoChainSpec)
+	if _, err := d.Rewire(nil, nil); err == nil {
+		t.Fatal("Rewire(nil) must fail")
+	}
+	bad := &placer.Result{Feasible: false, Reason: "synthetic"}
+	if _, err := d.Rewire(bad, nil); err == nil || !strings.Contains(err.Error(), "synthetic") {
+		t.Fatalf("Rewire(infeasible) must fail loudly, got %v", err)
+	}
+	if _, err := d.Rewire(d.Result, []int{99}); err == nil {
+		t.Fatal("Rewire with out-of-range chain index must fail")
+	}
+}
+
+func TestRewireNoAffectedChainsIsNoOp(t *testing.T) {
+	in, d := compileSpec(t, hw.NewPaperTestbed(hw.WithServers(2)), twoChainSpec)
+	prev := d.Result
+	entries, rules := d.Switch.EntryCount(), d.Switch.ClassifierRuleCount()
+	next, err := placer.Replace(prev, in, nil)
+	if err != nil {
+		t.Fatalf("Replace: %v", err)
+	}
+	rep, err := d.Rewire(next, nil)
+	if err != nil {
+		t.Fatalf("Rewire: %v", err)
+	}
+	if rep.RemovedSwitchEntries != 0 || rep.InstalledSwitchEntries != 0 ||
+		rep.RemovedSubgroups != 0 || rep.InstalledSubgroups != 0 {
+		t.Fatalf("no-op rewire mutated state: %s", rep)
+	}
+	if d.Switch.EntryCount() != entries || d.Switch.ClassifierRuleCount() != rules {
+		t.Fatal("no-op rewire changed switch state")
+	}
+	if d.Result != next {
+		t.Fatal("no-op rewire must still adopt the new result")
+	}
+}

@@ -168,6 +168,42 @@ func (s *Switch) Entry(spi uint32, si uint8) *PathEntry {
 	return s.entries[spi][si]
 }
 
+// EntryCount returns the number of installed (SPI, SI) program points.
+func (s *Switch) EntryCount() int {
+	n := 0
+	for _, m := range s.entries {
+		n += len(m)
+	}
+	return n
+}
+
+// ClassifierRuleCount returns the number of ingress classification rules.
+func (s *Switch) ClassifierRuleCount() int { return len(s.rules) }
+
+// RemoveSPIRange deletes every path entry and classifier rule whose SPI lies
+// in [lo, hi] and reports how many of each were removed. Chains own disjoint
+// SPI ranges (the metacompiler strides them), so this is the primitive a
+// failover rewire uses to retract exactly one chain's steering state while
+// leaving every other chain's rules untouched.
+func (s *Switch) RemoveSPIRange(lo, hi uint32) (entries, rules int) {
+	for spi, m := range s.entries {
+		if spi >= lo && spi <= hi {
+			entries += len(m)
+			delete(s.entries, spi)
+		}
+	}
+	kept := s.rules[:0]
+	for _, r := range s.rules {
+		if r.SPI >= lo && r.SPI <= hi {
+			rules++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	s.rules = kept
+	return entries, rules
+}
+
 // ErrNoPath is returned for frames that match no classifier rule or (SPI,SI)
 // entry.
 var ErrNoPath = errors.New("pisa: no service path for frame")

@@ -1,0 +1,113 @@
+package placer
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"lemur/internal/hw"
+	"lemur/internal/nfgraph"
+	"lemur/internal/nfspec"
+	"lemur/internal/profile"
+)
+
+// FuzzReplace drives Replace with fuzzer-chosen topologies, chain sets and
+// failed-device name lists (valid names, garbage, duplicates, the ToR, every
+// server at once). The contract under test: Replace never panics, and
+// returns either a feasible placement or an error — with every placement
+// failure typed ErrInfeasible.
+func FuzzReplace(f *testing.F) {
+	f.Add(int64(1), uint8(2), "nf-server-1")
+	f.Add(int64(2), uint8(3), "nf-server-2,nf-server-3")
+	f.Add(int64(3), uint8(2), "agilio-cx-40")
+	f.Add(int64(4), uint8(2), "nf-server-1,nf-server-2")
+	f.Add(int64(5), uint8(3), "tofino-32")
+	f.Add(int64(6), uint8(2), "no such device,,nf-server-1,nf-server-1")
+	f.Add(int64(7), uint8(2), "")
+	f.Add(int64(8), uint8(4), "\x00\xff,nf-server-9999")
+
+	f.Fuzz(func(t *testing.T, seed int64, shape uint8, failedCSV string) {
+		rng := rand.New(rand.NewSource(seed))
+		in := fuzzInput(t, rng, shape)
+		if in == nil {
+			return
+		}
+		prev, err := Place(SchemeLemur, in)
+		if err != nil || !prev.Feasible {
+			return
+		}
+		failed := NodeSet{}
+		for _, name := range strings.Split(failedCSV, ",") {
+			if name != "" {
+				failed[name] = true
+			}
+		}
+		next, err := Replace(prev, in, failed)
+		if err != nil {
+			if !errors.Is(err, ErrInfeasible) {
+				t.Fatalf("Replace error not typed ErrInfeasible: %v", err)
+			}
+			if next != nil {
+				t.Fatalf("Replace returned both a result and an error")
+			}
+			return
+		}
+		if next == nil || !next.Feasible {
+			t.Fatalf("Replace returned nil error but no feasible result: %+v", next)
+		}
+		// A feasible result must be internally complete: every chain rated,
+		// every subgroup on a live server with at least one core.
+		if len(next.ChainRates) != len(in.Chains) {
+			t.Fatalf("feasible result has %d rates for %d chains", len(next.ChainRates), len(in.Chains))
+		}
+		dead := failed.Expand(in.Topo)
+		for _, sg := range next.Subgroups {
+			if sg.Cores < 1 {
+				t.Fatalf("subgroup %s has %d cores", sg.Name(), sg.Cores)
+			}
+			if dead[sg.Server] {
+				t.Fatalf("subgroup %s placed on dead server %s", sg.Name(), sg.Server)
+			}
+		}
+		for _, u := range next.NICUses {
+			if dead[u.Device] {
+				t.Fatalf("NIC use %s on dead device %s", u.Node.Name(), u.Device)
+			}
+		}
+	})
+}
+
+// fuzzInput derives a random input from the fuzzer's seed and shape byte.
+// Returns nil when the drawn spec does not parse (not a finding).
+func fuzzInput(t *testing.T, rng *rand.Rand, shape uint8) *Input {
+	t.Helper()
+	opts := []hw.TestbedOption{}
+	if n := 1 + int(shape%4); n > 1 {
+		opts = append(opts, hw.WithServers(n))
+	}
+	if shape&0x10 != 0 {
+		opts = append(opts, hw.WithSmartNIC())
+	}
+	if shape&0x20 != 0 {
+		opts = append(opts, hw.WithSingleSocket())
+	}
+	nChains := 1 + rng.Intn(3)
+	src := ""
+	for c := 0; c < nChains; c++ {
+		src += randomChainSpec(rng, c)
+	}
+	chains, err := nfspec.Parse(src)
+	if err != nil {
+		return nil
+	}
+	in := &Input{Topo: hw.NewPaperTestbed(opts...), DB: profile.DefaultDB(), Restrict: evalRestrict}
+	for _, ch := range chains {
+		g, err := nfgraph.Build(ch)
+		if err != nil {
+			return nil
+		}
+		in.Chains = append(in.Chains, g)
+	}
+	return in
+}

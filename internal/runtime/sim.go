@@ -6,10 +6,12 @@ import (
 	"strconv"
 
 	"lemur/internal/bess"
+	"lemur/internal/chaos"
 	"lemur/internal/nf"
 	"lemur/internal/nsh"
 	"lemur/internal/obs"
 	"lemur/internal/pisa"
+	"lemur/internal/placer"
 	"lemur/internal/profile"
 	"lemur/internal/trafficgen"
 )
@@ -41,6 +43,14 @@ type SimConfig struct {
 	// QueueCap bounds each subgroup's input queue in packets (default 256).
 	QueueCap int
 	Seed     int64
+
+	// Faults is an optional deterministic fault-injection schedule. Crashes
+	// drop the dead device's in-flight packets, blackhole traffic steered at
+	// it during the detection+reconfiguration window, then trigger an
+	// incremental re-placement (placer.Replace) and steering rewire
+	// (Deployment.Rewire) mid-run. A nil or empty plan leaves the engine
+	// byte-identical to the fault-free fast path.
+	Faults *chaos.Plan
 
 	// debugCheckDelays makes the engine fail if a packet's accumulated
 	// queue wait ever exceeds its total lifetime — the invariant the
@@ -74,6 +84,10 @@ type SimResult struct {
 	P99QueueDelaySec []float64
 	Injected         []int
 	Egressed         []int
+
+	// Failover carries the fault-injection outcome; nil unless the run was
+	// configured with a non-empty chaos plan.
+	Failover *FailoverReport `json:",omitempty"`
 }
 
 // simPacket is one in-flight packet.
@@ -120,6 +134,15 @@ func (tb *Testbed) Simulate(offered []float64, cfg SimConfig) (*SimResult, error
 	ix, err := tb.simIndexLazy()
 	if err != nil {
 		return nil, err
+	}
+	// Fault injection engages only for a non-empty plan, keeping the
+	// fault-free path byte-identical to the pre-failover engine.
+	var fc *faultCtx
+	if !cfg.Faults.Empty() {
+		fc, err = newFaultCtx(tb, cfg.Faults, len(in.Chains))
+		if err != nil {
+			return nil, err
+		}
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed*17 + 3))
 	env := &nf.Env{Rand: rng}
@@ -171,19 +194,25 @@ func (tb *Testbed) Simulate(offered []float64, cfg SimConfig) (*SimResult, error
 	// Per-subgroup and per-core metric handles, hoisted so the step loop
 	// pays one atomic branch per observation. Handle slices are indexed in
 	// primaries (sorted) order, keeping observation order — and therefore
-	// histogram float sums — deterministic for a fixed seed.
-	qDepthH := make([]*obs.Histogram, ix.nPrimary)
-	qDelayH := make([]*obs.Histogram, ix.nPrimary)
-	coreUtilH := make([][]*obs.Histogram, ix.nPrimary)
-	for i := 0; i < ix.nPrimary; i++ {
-		psg := ix.entries[i].psg
-		qDepthH[i] = obs.H("lemur_sim_queue_depth", obs.L("subgroup", psg.Name()))
-		qDelayH[i] = obs.H("lemur_sim_queue_delay_seconds", obs.L("subgroup", psg.Name()))
-		for _, cs := range tb.D.Shares[psg] {
-			coreUtilH[i] = append(coreUtilH[i], obs.H("lemur_bess_core_utilization",
-				obs.L("server", psg.Server), obs.L("core", strconv.Itoa(cs.Core))))
+	// histogram float sums — deterministic for a fixed seed. A mid-run
+	// rewire re-hoists them for the new primary set.
+	var qDepthH, qDelayH []*obs.Histogram
+	var coreUtilH [][]*obs.Histogram
+	hoistHandles := func() {
+		qDepthH = make([]*obs.Histogram, ix.nPrimary)
+		qDelayH = make([]*obs.Histogram, ix.nPrimary)
+		coreUtilH = make([][]*obs.Histogram, ix.nPrimary)
+		for i := 0; i < ix.nPrimary; i++ {
+			psg := ix.entries[i].psg
+			qDepthH[i] = obs.H("lemur_sim_queue_depth", obs.L("subgroup", psg.Name()))
+			qDelayH[i] = obs.H("lemur_sim_queue_delay_seconds", obs.L("subgroup", psg.Name()))
+			for _, cs := range tb.D.Shares[psg] {
+				coreUtilH[i] = append(coreUtilH[i], obs.H("lemur_bess_core_utilization",
+					obs.L("server", psg.Server), obs.L("core", strconv.Itoa(cs.Core))))
+			}
 		}
 	}
+	hoistHandles()
 	injC := make([]*obs.Counter, len(offered))
 	egrC := make([]*obs.Counter, len(offered))
 	drpC := make([]*obs.Counter, len(offered))
@@ -201,6 +230,9 @@ func (tb *Testbed) Simulate(offered []float64, cfg SimConfig) (*SimResult, error
 		AvgQueueDelaySec: make([]float64, len(offered)),
 		Injected:         make([]int, len(offered)),
 		Egressed:         make([]int, len(offered)),
+	}
+	if fc != nil {
+		res.Failover = fc.report
 	}
 	dropped := make([]int, len(offered))
 	drop := func(ci int) {
@@ -292,6 +324,13 @@ func (tb *Testbed) Simulate(offered []float64, cfg SimConfig) (*SimResult, error
 				frame = out
 				continue
 			case pisa.ToServer:
+				if fc != nil && fc.dead[fwd.Target] {
+					// Blackhole: steered into a crashed server before the
+					// reconfigured rules landed.
+					fc.report.FaultDrops[p.chain]++
+					die(p, frame)
+					return false, nil
+				}
 				pl := tb.D.Pipelines[fwd.Target]
 				if pl == nil {
 					return false, fmt.Errorf("runtime: no pipeline %q", fwd.Target)
@@ -338,6 +377,11 @@ func (tb *Testbed) Simulate(offered []float64, cfg SimConfig) (*SimResult, error
 				}
 				frame = next
 			case pisa.ToNIC:
+				if fc != nil && fc.dead[fwd.Target] {
+					fc.report.FaultDrops[p.chain]++
+					die(p, frame)
+					return false, nil
+				}
 				nic := tb.D.NICs[fwd.Target]
 				if nic == nil {
 					return false, fmt.Errorf("runtime: no NIC %q", fwd.Target)
@@ -387,9 +431,150 @@ func (tb *Testbed) Simulate(offered []float64, cfg SimConfig) (*SimResult, error
 	// Credits carry over between steps (bounded to two quanta) so service
 	// capacity is not floored to whole packets per step.
 	stepCredit := make([]float64, ix.nPrimary)
+
+	// applyFaults fires due chaos events at a step boundary: crashes drain
+	// and blackhole their device, degrades/overloads rescale budgets/costs,
+	// and a matured detection+reconfiguration window runs the incremental
+	// Replace→Rewire and swaps the simulator's accounting state in place —
+	// parked packets migrate to their (pinned) subgroups' new entries by
+	// bess-subgroup identity; packets of re-placed chains are dropped, as a
+	// real reconfiguration loses them.
+	applyFaults := func(now float64) error {
+		for fc.next < len(fc.events) && fc.events[fc.next].AtSec <= now+1e-12 {
+			ev := fc.events[fc.next]
+			fc.next++
+			fc.report.Events = append(fc.report.Events, ev.String())
+			switch ev.Kind {
+			case chaos.Crash:
+				if fc.dead[ev.Target] {
+					continue
+				}
+				fc.failed[ev.Target] = true
+				for dev := range placer.NewNodeSet(ev.Target).Expand(in.Topo) {
+					fc.dead[dev] = true
+				}
+				// Chains severed now: their placement references a dead device.
+				for _, ci := range placer.AffectedChains(in, tb.D.Result, fc.dead) {
+					if fc.downSince[ci] < 0 {
+						fc.downSince[ci] = ev.AtSec
+					}
+				}
+				// In-flight packets parked on the dead device drop; its
+				// subgroups stop serving.
+				for i := range ix.entries {
+					e := &ix.entries[i]
+					host := ""
+					switch {
+					case e.srv != nil:
+						host = e.srv.Name
+					case e.pipe != nil:
+						host = e.pipe.Server.Name
+					}
+					if host == "" || !fc.dead[host] {
+						continue
+					}
+					r := &rings[i]
+					for k := 0; k < r.n; k++ {
+						p := r.at(k)
+						fc.report.FaultDrops[p.chain]++
+						die(p, p.frame)
+					}
+					r.popServed(r.n)
+					if i < ix.nPrimary {
+						budget[i], credit[i] = 0, 0
+					}
+				}
+				fc.rewireAt = ev.AtSec + fc.detect + fc.reconfig
+			case chaos.LinkDegrade:
+				fc.capFactor[ev.Target] = mult(fc.capFactor, ev.Target) * ev.Factor
+				for i := 0; i < ix.nPrimary; i++ {
+					if ix.entries[i].srv.Name == ev.Target {
+						budget[i] *= ev.Factor
+					}
+				}
+				fc.markPost(ev.AtSec, res.Egressed)
+			case chaos.NFOverload:
+				fc.costFactor[ev.Target] = mult(fc.costFactor, ev.Target) * ev.Factor
+				for i := 0; i < ix.nPrimary; i++ {
+					if ix.entries[i].srv.Name == ev.Target {
+						cost[i] *= ev.Factor
+					}
+				}
+				fc.markPost(ev.AtSec, res.Egressed)
+			}
+		}
+		if fc.rewireAt >= 0 && now+1e-12 >= fc.rewireAt {
+			at := fc.rewireAt
+			fc.rewireAt = -1
+			prev := tb.D.Result
+			nextRes, rerr := placer.Replace(prev, in, fc.failed)
+			if rerr != nil {
+				fc.report.ReplaceError = rerr.Error()
+				fc.markPost(at, res.Egressed)
+				return nil // severed chains stay down
+			}
+			affected := placer.AffectedChains(in, prev, fc.dead)
+			rep, rerr := tb.D.Rewire(nextRes, affected)
+			if rerr != nil {
+				fc.report.ReplaceError = rerr.Error()
+				fc.markPost(at, res.Egressed)
+				return nil
+			}
+			fc.report.RewireSummary = rep.String()
+			newIx, nCost, nBudget, nCredit, rerr := rebuildSimArrays(tb, fc, &cfg, rng, ix, cost, budget, credit)
+			if rerr != nil {
+				return rerr
+			}
+			// Migrate parked packets by bess-subgroup identity; packets of
+			// re-placed chains have no surviving entry and drop here.
+			newRings := make([]packetRing, len(newIx.entries))
+			for i := range newRings {
+				newRings[i].buf = make([]*simPacket, cfg.QueueCap)
+			}
+			for i := range ix.entries {
+				r := &rings[i]
+				n0 := r.n
+				if n0 == 0 {
+					continue
+				}
+				tgt := int32(-1)
+				if ni, ok := newIx.idxOf[ix.entries[i].sub]; ok {
+					tgt = ni
+				}
+				for k := 0; k < n0; k++ {
+					p := r.at(k)
+					if tgt >= 0 && newRings[tgt].n < cfg.QueueCap {
+						newRings[tgt].push(p)
+					} else {
+						fc.report.FaultDrops[p.chain]++
+						die(p, p.frame)
+					}
+				}
+				r.popServed(n0)
+			}
+			ix, cost, budget, credit, rings = newIx, nCost, nBudget, nCredit, newRings
+			hoistHandles()
+			stepCredit = make([]float64, ix.nPrimary)
+			for _, ci := range affected {
+				if fc.downSince[ci] >= 0 {
+					fc.report.DowntimeSec[ci] += at - fc.downSince[ci]
+					fc.downSince[ci] = -1
+				}
+			}
+			fc.markPost(at, res.Egressed)
+			obs.C("lemur_sim_failovers_total").Inc()
+		}
+		return nil
+	}
+
 	for step := 0; step < steps; step++ {
 		now := float64(step) * cfg.StepSec
 		env.NowSec = now
+		if fc != nil {
+			if err := applyFaults(now); err != nil {
+				return nil, err
+			}
+		}
 		for i := 0; i < ix.nPrimary; i++ {
 			c := credit[i] + budget[i]
 			if max := 2 * budget[i]; c > max {
@@ -460,6 +645,9 @@ func (tb *Testbed) Simulate(offered []float64, cfg SimConfig) (*SimResult, error
 		}
 	}
 
+	if fc != nil {
+		fc.finalize(res, tb, &cfg, frameBits)
+	}
 	res.P99QueueDelaySec = make([]float64, len(offered))
 	for ci := range offered {
 		if res.Injected[ci] > 0 {

@@ -61,6 +61,33 @@ func (n *NIC) Load(spi uint32, si uint8, pp *PathProgram) error {
 	return nil
 }
 
+// Unload removes the program for (spi, si), reporting whether one was loaded.
+func (n *NIC) Unload(spi uint32, si uint8) bool {
+	k := uint64(spi)<<8 | uint64(si)
+	if _, ok := n.entries[k]; !ok {
+		return false
+	}
+	delete(n.entries, k)
+	return true
+}
+
+// ProgramCount returns the number of loaded path programs.
+func (n *NIC) ProgramCount() int { return len(n.entries) }
+
+// UnloadSPIRange removes every program whose SPI lies in [lo, hi] and
+// returns how many were unloaded — the failover rewire primitive for
+// retracting one chain's offloads.
+func (n *NIC) UnloadSPIRange(lo, hi uint32) int {
+	removed := 0
+	for k := range n.entries {
+		if spi := uint32(k >> 8); spi >= lo && spi <= hi {
+			delete(n.entries, k)
+			removed++
+		}
+	}
+	return removed
+}
+
 // CapacityPPS converts the NF-server profile into NIC throughput using the
 // measured speedup (the paper reports >10x for ChaCha): the NIC runs the
 // path's bottleneck NF speedup× faster than one server core, capped by the

@@ -29,6 +29,7 @@ import (
 	"sort"
 	"strings"
 
+	"lemur/internal/chaos"
 	"lemur/internal/core"
 	"lemur/internal/hw"
 	"lemur/internal/metacompiler"
@@ -324,7 +325,8 @@ func (d *Deployment) AutoGeneratedShare() float64 {
 }
 
 // SimReport summarizes a discrete-time simulation run: per-chain goodput,
-// loss, queueing delay at server subgroups, and packet accounting.
+// loss, queueing delay at server subgroups, and packet accounting. Failover
+// is non-nil only for SimulateWithFaults runs.
 type SimReport struct {
 	AchievedBps      []float64
 	DropRate         []float64
@@ -332,6 +334,24 @@ type SimReport struct {
 	P99QueueDelaySec []float64
 	Injected         []int
 	Egressed         []int
+	Failover         *FailoverOutcome
+}
+
+// FailoverOutcome reports a fault-injection run: which scheduled events
+// fired, how long each chain was down, what the faults cost in packets, and
+// whether each chain's post-failover rate still clears its SLO. Slices are
+// per chain, in spec order.
+type FailoverOutcome struct {
+	Events            []string
+	DetectionDelaySec float64
+	ReconfigDelaySec  float64
+	ReplaceError      string
+	RewireSummary     string
+	DowntimeSec       []float64
+	FaultDrops        []int
+	PostWindowSec     float64
+	PostAchievedBps   []float64
+	PostSLOCompliant  []bool
 }
 
 // Simulate runs the discrete-time packet simulator with every chain
@@ -340,20 +360,56 @@ type SimReport struct {
 // walks individual frames through bounded queues with per-core cycle
 // budgets, exposing drop onset and latency inflation under overload.
 func (d *Deployment) Simulate(loadFactor float64) (*SimReport, error) {
+	return d.simulate(loadFactor, nil)
+}
+
+// SimulateWithFaults runs the discrete-time simulator with a deterministic
+// fault-injection schedule (the chaos grammar, e.g.
+// "crash:nf-server-1@0.3s" or "crash:nf-server-1@0.1s;overload:nf-server-2@0.2sx4").
+// Crashes drop in-flight packets, blackhole steered traffic for the
+// detection+reconfiguration window, then trigger an incremental
+// re-placement and steering rewire mid-run; the returned report's Failover
+// field carries per-chain downtime, fault drops, and post-failover SLO
+// compliance. A failover run rewires the deployment in place — Deploy a
+// fresh one per run.
+func (d *Deployment) SimulateWithFaults(loadFactor float64, schedule string) (*SimReport, error) {
+	plan, err := chaos.Parse(schedule)
+	if err != nil {
+		return nil, err
+	}
+	return d.simulate(loadFactor, plan)
+}
+
+func (d *Deployment) simulate(loadFactor float64, plan *chaos.Plan) (*SimReport, error) {
 	offered := make([]float64, len(d.dep.Result.ChainRates))
 	for i, r := range d.dep.Result.ChainRates {
 		offered[i] = r * loadFactor
 	}
-	sim, err := d.tb.Simulate(offered, runtime.SimConfig{Seed: d.tb.Seed, DurationSec: 0.5})
+	sim, err := d.tb.Simulate(offered, runtime.SimConfig{Seed: d.tb.Seed, DurationSec: 0.5, Faults: plan})
 	if err != nil {
 		return nil, err
 	}
-	return &SimReport{
+	rep := &SimReport{
 		AchievedBps:      sim.AchievedBps,
 		DropRate:         sim.DropRate,
 		AvgQueueDelaySec: sim.AvgQueueDelaySec,
 		P99QueueDelaySec: sim.P99QueueDelaySec,
 		Injected:         sim.Injected,
 		Egressed:         sim.Egressed,
-	}, nil
+	}
+	if fo := sim.Failover; fo != nil {
+		rep.Failover = &FailoverOutcome{
+			Events:            fo.Events,
+			DetectionDelaySec: fo.DetectionDelaySec,
+			ReconfigDelaySec:  fo.ReconfigDelaySec,
+			ReplaceError:      fo.ReplaceError,
+			RewireSummary:     fo.RewireSummary,
+			DowntimeSec:       fo.DowntimeSec,
+			FaultDrops:        fo.FaultDrops,
+			PostWindowSec:     fo.PostWindowSec,
+			PostAchievedBps:   fo.PostAchievedBps,
+			PostSLOCompliant:  fo.PostSLOCompliant,
+		}
+	}
+	return rep, nil
 }
