@@ -7,24 +7,37 @@ cd "$(dirname "$0")"
 echo "==> go vet ./..."
 go vet ./...
 
+# Docs gates: README/ARCHITECTURE must not reference dead flags, symbols,
+# or tests; every exported symbol in the audited packages must carry a doc
+# comment (units + determinism policy, see ARCHITECTURE.md).
+echo "==> docs gate (scripts/check_docs.sh)"
+./scripts/check_docs.sh
+
+echo "==> godoc coverage (tools/doccheck)"
+go run ./tools/doccheck ./internal/placer ./internal/metacompiler ./internal/runtime .
+
 echo "==> go build ./..."
 go build ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
 
-# The parallel placement engine, experiment runner (incl. the parallel sim
-# and failover sweeps), batched simulator, and the fault-injection stack
-# (chaos plans, incremental rewire) get an extra race pass with their
-# property tests un-shortened (the ./... run above may cache).
-echo "==> go test -race -count=1 ./internal/placer ./internal/experiments ./internal/runtime ./internal/chaos ./internal/metacompiler"
-go test -race -count=1 ./internal/placer ./internal/experiments ./internal/runtime ./internal/chaos ./internal/metacompiler
+# The parallel placement engine, experiment runner (incl. the parallel sim,
+# failover and churn sweeps), batched simulator, and the reconfiguration
+# stack (chaos + churn plans, incremental rewire) get an extra race pass
+# with their property tests un-shortened (the ./... run above may cache).
+echo "==> go test -race -count=1 ./internal/placer ./internal/experiments ./internal/runtime ./internal/chaos ./internal/churn ./internal/metacompiler"
+go test -race -count=1 ./internal/placer ./internal/experiments ./internal/runtime ./internal/chaos ./internal/churn ./internal/metacompiler
 
 # Fuzz smoke: ten seconds of FuzzReplace exercises the incremental
 # re-placement invariants (pinning, no-failure identity) beyond the seed
-# corpus.
+# corpus; ten seconds of FuzzChurnPlan exercises the churn grammar's
+# parse/render round-trip.
 echo "==> fuzz smoke (FuzzReplace, 10s)"
 go test -run '^$' -fuzz 'FuzzReplace' -fuzztime=10s ./internal/placer
+
+echo "==> fuzz smoke (FuzzChurnPlan, 10s)"
+go test -run '^$' -fuzz 'FuzzChurnPlan' -fuzztime=10s ./internal/churn
 
 # Coverage gate: total statement coverage must not regress below the
 # recorded baseline (80.0% when this gate was added; floor leaves a small
@@ -36,6 +49,18 @@ total=$(go tool cover -func=/tmp/lemur-cover.out | awk '/^total:/ {gsub(/%/, "",
 echo "    total coverage: ${total}%"
 awk -v t="$total" -v f="$COVERAGE_FLOOR" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || {
   echo "ci: coverage ${total}% fell below the ${COVERAGE_FLOOR}% floor" >&2
+  exit 1
+}
+
+# The churn stack (grammar, Admit/Retire, AdmitChains/RetireChains, churn
+# sweep, churn simulation) gets its own aggregate floor so the online path
+# cannot silently lose its tests.
+CHURN_FLOOR=75.0
+churn=$(awk '$1 ~ /churn/ { total += $2; if ($3 > 0) covered += $2 }
+  END { if (total > 0) printf "%.1f", 100 * covered / total; else print 0 }' /tmp/lemur-cover.out)
+echo "    churn-file coverage: ${churn}%"
+awk -v t="$churn" -v f="$CHURN_FLOOR" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || {
+  echo "ci: churn-file coverage ${churn}% fell below the ${CHURN_FLOOR}% floor" >&2
   exit 1
 }
 

@@ -210,6 +210,51 @@ func runSimSweep(parallel int) {
 	w.Flush()
 }
 
+// runChurnBench is the -churn command: the admission-capacity table. On the
+// paper rack, chains {1,2} are placed as the base tenants with a 4-core
+// admission headroom reserve (an offline placement spends every core on
+// marginal throughput, which leaves nothing for newcomers), then canonical
+// chains are admitted one at a time; each row reports the placer's three-way
+// verdict (incremental / full-repack / infeasible), the subgroups pinned by
+// pointer, and the admitted placement's marginal headroom. Cells run in
+// parallel and stdout is byte-identical at any -parallel value; the
+// incremental-vs-full solve-time comparison is wall clock, so it goes to
+// stderr.
+func runChurnBench(parallel int) {
+	r := experiments.NewRunner(hw.NewPaperTestbed())
+	r.Parallel = parallel
+	r.Headroom = 4
+	base := []int{1, 2}
+	admits := experiments.DefaultChurnAdmits(12)
+	steps, err := r.ChurnSweep(base, admits, 0.5, placer.SchemeLemur)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("churn: base chains %v at δ=0.5 with %d-core headroom, admitting %v one at a time\n",
+		base, r.Headroom, admits)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "step\tbase\tadmit\tverdict\tpinned\tmarginal\trepack ok\t")
+	for _, st := range steps {
+		marginal := "—"
+		if st.Outcome == placer.AdmitIncremental {
+			marginal = gbps(st.MarginalBps) + " Gbps"
+		}
+		verdict := st.Outcome.String()
+		if !st.BaseFeasible {
+			verdict = "base infeasible"
+		}
+		fmt.Fprintf(w, "%d\t%d\t%s\t%s\t%d\t%s\t%v\t\n",
+			st.Step, st.BaseChains, st.ChainName, verdict, st.Pinned, marginal, st.FullFeasible)
+	}
+	w.Flush()
+	fmt.Printf("admission capacity: %d chain(s) admitted incrementally before the first refusal\n",
+		experiments.AdmittedCapacity(steps))
+	for _, st := range steps {
+		fmt.Fprintf(os.Stderr, "step %d: incremental solve %.2fms vs full placement %.2fms\n",
+			st.Step, float64(st.IncrementalNs)/1e6, float64(st.FullPlaceNs)/1e6)
+	}
+}
+
 // runFailover is the -failover command: the "SLO compliance under k
 // failures" table. A three-server rack places chains {1,2,3}; each row
 // crashes k servers mid-run and reports downtime, fault drops, and how many

@@ -12,6 +12,7 @@
 //	lemur-bench -scaling          # §5.3 placement computation time
 //	lemur-bench -feasibility      # feasible-solution shares per scheme
 //	lemur-bench -failover         # SLO compliance under k server failures
+//	lemur-bench -churn            # admission capacity: incremental vs repack
 package main
 
 import (
@@ -44,6 +45,7 @@ func main() {
 		benchOut    = flag.String("bench-out", "", "run the placement micro-benchmark sweep and write ns/op + cache stats to this JSON path")
 		sim         = flag.Bool("sim", false, "parallel load-factor sweep with the discrete-time dataplane simulator")
 		failover    = flag.Bool("failover", false, "SLO compliance under k server failures (parallel fault-injection sweep)")
+		churnBench  = flag.Bool("churn", false, "admission-capacity sweep: chains admitted incrementally until first refusal (parallel)")
 	)
 	flag.Parse()
 	if *metrics != "" {
@@ -67,6 +69,8 @@ func main() {
 		runSimSweep(*parallel)
 	case *failover:
 		runFailover(*parallel)
+	case *churnBench:
+		runChurnBench(*parallel)
 	case *figure != "":
 		runFigure(*figure, deltas, *quick)
 	case *table == "3":

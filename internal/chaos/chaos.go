@@ -239,6 +239,11 @@ func parseEvent(tok string) (Event, error) {
 	return ev, nil
 }
 
+// ParseTime parses a schedule timestamp — "0.3s", "300ms", "50us", or bare
+// seconds — into seconds. Shared with the churn schedule grammar, which uses
+// the same @time syntax.
+func ParseTime(s string) (float64, error) { return parseTime(s) }
+
 func parseTime(s string) (float64, error) {
 	mult := 1.0
 	switch {

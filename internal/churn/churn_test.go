@@ -1,0 +1,170 @@
+package churn
+
+import (
+	"strings"
+	"testing"
+
+	"lemur/internal/chaos"
+)
+
+// mustTime resolves a time token through the shared chaos grammar, so
+// expectations track its exact float arithmetic.
+func mustTime(t *testing.T, s string) float64 {
+	t.Helper()
+	sec, err := chaos.ParseTime(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sec
+}
+
+func TestParse(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want []Event
+	}{
+		{"admit:chain6@0.3s", []Event{{Admit, "chain6", 0.3}}},
+		{"add:web@300ms", []Event{{Admit, "web", 0.3}}},
+		{"arrive:web@50us", []Event{{Admit, "web", mustTime(t, "50us")}}},
+		{"retire:chain2@0.6s", []Event{{Retire, "chain2", 0.6}}},
+		{"remove:chain2@0.6", []Event{{Retire, "chain2", 0.6}}},
+		{"depart:chain2@600ms", []Event{{Retire, "chain2", 0.6}}},
+		{"admit:a@0.1s;retire:b@0.2s", []Event{{Admit, "a", 0.1}, {Retire, "b", 0.2}}},
+		{"admit:a@0.1 , retire:b@0.2s", []Event{{Admit, "a", 0.1}, {Retire, "b", 0.2}}},
+		// Normalize sorts by time regardless of authored order.
+		{"retire:b@0.4s;admit:a@0.1s", []Event{{Admit, "a", 0.1}, {Retire, "b", 0.4}}},
+		{" ADMIT:web@1s ", []Event{{Admit, "web", 1}}},
+		{";;", nil},
+		{"", nil},
+	} {
+		p, err := Parse(tc.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.in, err)
+			continue
+		}
+		if len(p.Events) != len(tc.want) {
+			t.Errorf("Parse(%q): %d events, want %d", tc.in, len(p.Events), len(tc.want))
+			continue
+		}
+		for i, ev := range p.Events {
+			if ev != tc.want[i] {
+				t.Errorf("Parse(%q) event %d = %+v, want %+v", tc.in, i, ev, tc.want[i])
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"chain6@0.3s", "want kind:chain@time"},
+		{"evict:chain6@0.3s", "unknown kind"},
+		{"admit:chain6", "missing @time"},
+		{"admit:@0.3s", "empty chain name"},
+		{"admit:web@soon", ""},
+		{"admit:web@-1s", "negative time"},
+	} {
+		_, err := Parse(tc.in)
+		if err == nil {
+			t.Errorf("Parse(%q): want error, got nil", tc.in)
+			continue
+		}
+		if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Parse(%q) error %q, want substring %q", tc.in, err, tc.want)
+		}
+	}
+}
+
+func TestNormalizeStable(t *testing.T) {
+	p := &Plan{Events: []Event{
+		{Admit, "first", 0.5},
+		{Retire, "second", 0.5},
+		{Admit, "early", 0.1},
+	}}
+	p.Normalize()
+	want := []string{"early", "first", "second"}
+	for i, ev := range p.Events {
+		if ev.Chain != want[i] {
+			t.Fatalf("event %d = %s, want %s (stable sort by time)", i, ev.Chain, want[i])
+		}
+	}
+}
+
+func TestDelays(t *testing.T) {
+	var nilPlan *Plan
+	d, r := nilPlan.Delays()
+	if d != chaos.DefaultDetectionDelaySec || r != chaos.DefaultReconfigDelaySec {
+		t.Fatalf("nil plan delays = (%g, %g), want chaos defaults", d, r)
+	}
+	d, r = (&Plan{DetectionDelaySec: 0.5, ReconfigDelaySec: 0.25}).Delays()
+	if d != 0.5 || r != 0.25 {
+		t.Fatalf("override delays = (%g, %g), want (0.5, 0.25)", d, r)
+	}
+	// Negative means "explicitly immediate": clamps to zero rather than
+	// falling back to the defaults.
+	d, r = (&Plan{DetectionDelaySec: -1, ReconfigDelaySec: -1}).Delays()
+	if d != 0 || r != 0 {
+		t.Fatalf("negative delays = (%g, %g), want (0, 0)", d, r)
+	}
+}
+
+func TestEmptyAndString(t *testing.T) {
+	var nilPlan *Plan
+	if !nilPlan.Empty() || !(&Plan{}).Empty() {
+		t.Fatal("nil and zero plans must be Empty")
+	}
+	if s := nilPlan.String(); s != "" {
+		t.Fatalf("nil plan String = %q, want empty", s)
+	}
+	p, err := Parse("admit:web@0.3s;retire:db@0.6s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.String(), "admit:web@0.3s;retire:db@0.6s"; got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (&Plan{Events: []Event{{Kind: Kind(9), Chain: "x", AtSec: 1}}}).Validate(); err == nil {
+		t.Fatal("unknown kind must fail validation")
+	}
+	if err := (&Plan{Events: []Event{{Kind: Admit, Chain: "x", AtSec: 1}}}).Validate(); err != nil {
+		t.Fatalf("well-formed plan rejected: %v", err)
+	}
+}
+
+// FuzzChurnPlan: any string either fails Parse or yields a plan whose String
+// re-parses to the identical schedule — the grammar and its renderer are
+// inverses on the accepted language.
+func FuzzChurnPlan(f *testing.F) {
+	f.Add("admit:chain6@0.3s")
+	f.Add("admit:web@300ms;retire:chain2@0.6s")
+	f.Add("add:a@0.1,remove:b@0.4s;arrive:c@50us")
+	f.Add("depart:x@2")
+	f.Add(";;  ,admit:y@1e-3s")
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Parse(%q) returned an invalid plan: %v", s, err)
+		}
+		rendered := p.String()
+		q, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("Parse(String(Parse(%q))) failed on %q: %v", s, rendered, err)
+		}
+		if got := q.String(); got != rendered {
+			t.Fatalf("round-trip diverged: %q -> %q -> %q", s, rendered, got)
+		}
+		if len(q.Events) != len(p.Events) {
+			t.Fatalf("round-trip changed event count: %d -> %d", len(p.Events), len(q.Events))
+		}
+		for i := range p.Events {
+			if p.Events[i] != q.Events[i] {
+				t.Fatalf("round-trip changed event %d: %+v -> %+v", i, p.Events[i], q.Events[i])
+			}
+		}
+	})
+}

@@ -28,6 +28,10 @@ type System struct {
 	// Parallel is the placer's candidate-evaluation worker count (<=1 =
 	// serial; results are identical at any value).
 	Parallel int
+	// Headroom is the per-server worker-core reserve withheld from the
+	// placer's spare-core pour so later admissions have budget
+	// (placer.Input.HeadroomCores). 0 = the paper's offline placement.
+	Headroom int
 
 	chains []*nfspec.Chain
 	graphs []*nfgraph.Graph
@@ -72,6 +76,24 @@ func (s *System) LoadSpec(src string) error {
 	return nil
 }
 
+// Subset returns a derived system sharing the topology, profiles, and
+// configuration but holding only the chains keep accepts (by spec name, in
+// load order). The derived pipeline state starts empty; graphs are shared by
+// pointer with the parent, so a placement of the subset can later admit the
+// excluded chains incrementally (placer.Admit keys pinned state by pointer).
+func (s *System) Subset(keep func(name string) bool) *System {
+	d := NewSystem(s.Topo)
+	d.DB, d.Restrict, d.Scheme, d.Seed, d.Parallel, d.Headroom =
+		s.DB, s.Restrict, s.Scheme, s.Seed, s.Parallel, s.Headroom
+	for i, c := range s.chains {
+		if keep(c.Name) {
+			d.chains = append(d.chains, c)
+			d.graphs = append(d.graphs, s.graphs[i])
+		}
+	}
+	return d
+}
+
 // Chains returns the loaded chain specs.
 func (s *System) Chains() []*nfspec.Chain { return s.chains }
 
@@ -84,11 +106,12 @@ func (s *System) Input() (*placer.Input, error) {
 		return nil, ErrNoChains
 	}
 	return &placer.Input{
-		Chains:   s.graphs,
-		Topo:     s.Topo,
-		DB:       s.DB,
-		Restrict: s.Restrict,
-		Parallel: s.Parallel,
+		Chains:        s.graphs,
+		Topo:          s.Topo,
+		DB:            s.DB,
+		Restrict:      s.Restrict,
+		Parallel:      s.Parallel,
+		HeadroomCores: s.Headroom,
 	}, nil
 }
 

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"lemur/internal/placer"
+)
+
+// ChurnStep is one cell of an admission-capacity sweep: the outcome of
+// incrementally admitting one more chain onto a placed system, side by side
+// with the full re-solve it avoids.
+type ChurnStep struct {
+	// Step numbers the admission (0 = first chain admitted beyond the base
+	// set); BaseChains is how many chains were already placed when it ran.
+	Step       int
+	BaseChains int
+	// Chain is the canonical chain index admitted (Table 2 numbering);
+	// ChainName its spec name.
+	Chain     int
+	ChainName string
+
+	// BaseFeasible reports whether the base system of BaseChains chains could
+	// be placed at all; when false the admission question is moot and the
+	// step's Outcome is infeasible with the base reason.
+	BaseFeasible bool
+	// Outcome is the placer's three-way admission verdict.
+	Outcome placer.AdmitOutcome
+	// Reason is why the pin-preserving attempt failed (empty when
+	// incremental).
+	Reason string
+	// Pinned counts the prior placement's subgroups carried by pointer
+	// (0 unless the outcome is incremental).
+	Pinned int
+	// MarginalBps is the admitted placement's marginal throughput headroom
+	// in bits/sec (0 unless incremental).
+	MarginalBps float64
+
+	// IncrementalNs is the pin-preserving solve's wall-clock time;
+	// FullPlaceNs times a from-scratch placement of the same chain set for
+	// comparison. Wall-clock fields are the only nondeterministic ones —
+	// byte-identity tests scrub them.
+	IncrementalNs int64
+	FullPlaceNs   int64
+	// FullFeasible reports whether the from-scratch placement succeeded
+	// (when an incremental admission fails but this holds, the system has
+	// capacity only at the cost of a disruptive repack).
+	FullFeasible bool
+}
+
+// ChurnSweep measures admission capacity: starting from the base canonical
+// chains at δ, it admits the given chains one at a time and reports each
+// step's verdict. Step k admits its chain onto a freshly placed system of
+// base+k chains — the capacity question "can one more tenant join without
+// disturbing the k running ones" — which makes every cell independent, so
+// cells run concurrently bounded by Runner.Parallel with results stored by
+// step index: the output is byte-identical to a serial run at any worker
+// count (only the *Ns wall-clock fields vary).
+//
+// The sweep keeps going past the first non-incremental verdict (capacity is
+// AdmittedCapacity over the result); a step whose base placement is itself
+// infeasible reports that in BaseFeasible/Reason rather than failing, so the
+// sweep can run past the rack's capacity point.
+func (r *Runner) ChurnSweep(baseChainIdxs, admitChainIdxs []int, delta float64, scheme placer.Scheme) ([]ChurnStep, error) {
+	if len(admitChainIdxs) == 0 {
+		return nil, fmt.Errorf("experiments: churn sweep needs at least one chain to admit")
+	}
+	all := append(append([]int(nil), baseChainIdxs...), admitChainIdxs...)
+	full, _, err := r.input(all, delta)
+	if err != nil {
+		return nil, err
+	}
+
+	steps := make([]ChurnStep, len(admitChainIdxs))
+	sem := make(chan struct{}, r.workers())
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+
+	for k := range admitChainIdxs {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			st, err := r.churnStep(full, len(baseChainIdxs)+k, admitChainIdxs[k], scheme)
+			mu.Lock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("experiments: churn step %d: %w", k, err)
+				}
+			} else {
+				st.Step = k
+				steps[k] = st
+			}
+			mu.Unlock()
+		}(k)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return steps, nil
+}
+
+// churnStep runs one admission cell: place the first nBase chains of the
+// full input, admit chain slot nBase incrementally, and time a from-scratch
+// placement of all nBase+1 chains for comparison. Each cell builds its own
+// Input values (sharing only the immutable graphs) so the placer's
+// per-input prep caches never race across cells.
+func (r *Runner) churnStep(full *placer.Input, nBase, chainIdx int, scheme placer.Scheme) (ChurnStep, error) {
+	st := ChurnStep{
+		BaseChains: nBase,
+		Chain:      chainIdx,
+		ChainName:  full.Chains[nBase].Chain.Name,
+	}
+	prevIn := *full
+	prevIn.Chains = full.Chains[:nBase:nBase]
+	prevIn.HeadroomCores = r.Headroom
+	prev, err := placer.Place(scheme, &prevIn)
+	if err != nil {
+		return st, err
+	}
+	st.BaseFeasible = prev.Feasible
+	if prev.Feasible {
+		grownIn := *full
+		grownIn.Chains = full.Chains[:nBase+1 : nBase+1]
+		grownIn.HeadroomCores = r.Headroom
+		rep, err := placer.Admit(prev, &grownIn, []int{nBase})
+		if err != nil {
+			return st, err
+		}
+		st.Outcome = rep.Outcome
+		st.Reason = rep.IncrementalReason
+		st.IncrementalNs = rep.IncrementalTime.Nanoseconds()
+		if rep.Outcome == placer.AdmitIncremental {
+			st.Pinned = rep.PinnedSubgroups
+			st.MarginalBps = rep.Result.Marginal
+		}
+	} else {
+		st.Outcome = placer.AdmitInfeasible
+		st.Reason = "base placement infeasible: " + prev.Reason
+	}
+
+	fullIn := *full
+	fullIn.Chains = full.Chains[:nBase+1 : nBase+1]
+	fullIn.HeadroomCores = r.Headroom
+	start := time.Now()
+	fres, err := placer.Place(scheme, &fullIn)
+	st.FullPlaceNs = time.Since(start).Nanoseconds()
+	if err != nil {
+		return st, err
+	}
+	st.FullFeasible = fres.Feasible
+	return st, nil
+}
+
+// AdmittedCapacity is the number of consecutive leading steps a churn sweep
+// admitted incrementally — the paper-style capacity headline "chains
+// admitted until first infeasibility".
+func AdmittedCapacity(steps []ChurnStep) int {
+	n := 0
+	for _, st := range steps {
+		if st.Outcome != placer.AdmitIncremental {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// DefaultChurnAdmits builds the default admission sequence for the capacity
+// sweep: n canonical chains cycling over the light-to-medium chains
+// {3, 5, 2}, so capacity is exhausted gradually rather than by one giant
+// chain.
+func DefaultChurnAdmits(n int) []int {
+	cycle := []int{3, 5, 2}
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, cycle[i%len(cycle)])
+	}
+	return out
+}

@@ -40,6 +40,11 @@ type Runner struct {
 	// results are identical either way (the placer reduces candidates
 	// deterministically).
 	Parallel int
+
+	// Headroom is the per-server worker-core reserve the churn sweep places
+	// its base systems with (placer.Input.HeadroomCores), so incremental
+	// admissions have budget. Other experiments ignore it.
+	Headroom int
 }
 
 // DefaultVerifyPackets seeds every new Runner's VerifyPackets. Commands set

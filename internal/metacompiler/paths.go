@@ -46,31 +46,43 @@ const spiStride = 64
 func buildServicePaths(in *placer.Input) ([][]*ServicePath, error) {
 	out := make([][]*ServicePath, len(in.Chains))
 	for ci, g := range in.Chains {
-		paths := g.Paths()
-		if len(paths) >= spiStride {
-			return nil, fmt.Errorf("metacompiler: chain %s has %d linear paths (max %d)",
-				g.Chain.Name, len(paths), spiStride-1)
-		}
-		sps := make([]*ServicePath, len(paths))
-		for pi, p := range paths {
-			sp := &ServicePath{
-				SPI:      uint32(ci*spiStride + pi + 1),
-				ChainIdx: ci,
-				Weight:   p.Weight,
-				Nodes:    p.Nodes,
-			}
-			// Longest common prefix with any earlier path of the chain.
-			for qi := 0; qi < pi; qi++ {
-				lcp := commonPrefix(sps[qi].Nodes, p.Nodes)
-				if lcp > sp.OwnedFrom {
-					sp.OwnedFrom = lcp
-				}
-			}
-			sps[pi] = sp
+		sps, err := chainServicePaths(g, ci)
+		if err != nil {
+			return nil, err
 		}
 		out[ci] = sps
 	}
 	return out, nil
+}
+
+// chainServicePaths builds one chain's service paths for slot ci. The SPI
+// range is a pure function of the slot index, so paths for a chain admitted
+// later (AdmitChains) are identical to what a from-scratch Compile at the
+// same slot would produce.
+func chainServicePaths(g *nfgraph.Graph, ci int) ([]*ServicePath, error) {
+	paths := g.Paths()
+	if len(paths) >= spiStride {
+		return nil, fmt.Errorf("metacompiler: chain %s has %d linear paths (max %d)",
+			g.Chain.Name, len(paths), spiStride-1)
+	}
+	sps := make([]*ServicePath, len(paths))
+	for pi, p := range paths {
+		sp := &ServicePath{
+			SPI:      uint32(ci*spiStride + pi + 1),
+			ChainIdx: ci,
+			Weight:   p.Weight,
+			Nodes:    p.Nodes,
+		}
+		// Longest common prefix with any earlier path of the chain.
+		for qi := 0; qi < pi; qi++ {
+			lcp := commonPrefix(sps[qi].Nodes, p.Nodes)
+			if lcp > sp.OwnedFrom {
+				sp.OwnedFrom = lcp
+			}
+		}
+		sps[pi] = sp
+	}
+	return sps, nil
 }
 
 func commonPrefix(a, b []*nfgraph.Node) int {

@@ -32,6 +32,8 @@ type RewireReport struct {
 	KeptClassifierRules int
 }
 
+// String renders the rewire's removed/installed/kept accounting on one
+// line (the form the CLIs and ChurnReport.RewireSummaries print).
 func (r *RewireReport) String() string {
 	return fmt.Sprintf("rewire: chains %v, switch -%d/+%d entries (%d kept), rules -%d/+%d (%d kept), subgroups -%d/+%d, nic -%d/+%d",
 		r.AffectedChains,

@@ -1,0 +1,116 @@
+package placer_test
+
+import (
+	"fmt"
+	"log"
+
+	"lemur/internal/hw"
+	"lemur/internal/nfgraph"
+	"lemur/internal/nfspec"
+	"lemur/internal/placer"
+	"lemur/internal/profile"
+)
+
+// exampleInput places the named chains of a spec on the paper testbed with a
+// 4-core admission reserve, returning the input and its feasible placement.
+func exampleInput(src string) (*placer.Input, *placer.Result) {
+	chains, err := nfspec.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	in := &placer.Input{
+		Topo:          hw.NewPaperTestbed(),
+		DB:            profile.DefaultDB(),
+		Restrict:      map[string][]hw.Platform{"IPv4Fwd": {hw.PISA}},
+		HeadroomCores: 4,
+	}
+	for _, c := range chains {
+		g, err := nfgraph.Build(c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		in.Chains = append(in.Chains, g)
+	}
+	res, err := placer.Place(placer.SchemeLemur, in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Feasible {
+		log.Fatalf("placement infeasible: %s", res.Reason)
+	}
+	return in, res
+}
+
+const exampleBase = `
+chain gold {
+  slo { tmin = 2Gbps  tmax = 100Gbps }
+  aggregate { src = 10.1.0.0/16 }
+  mon0 = Monitor()
+  fwd0 = IPv4Fwd()
+  mon0 -> fwd0
+}
+chain silver {
+  slo { tmin = 1Gbps  tmax = 100Gbps }
+  aggregate { src = 10.2.0.0/16 }
+  nat0 = NAT()
+  fwd0 = IPv4Fwd()
+  nat0 -> fwd0
+}`
+
+// ExampleAdmit admits one new chain onto a running placement without moving
+// anything already deployed: the prior chains' subgroups are pinned by
+// pointer, and the verdict says whether that pin-preserving placement exists.
+func ExampleAdmit() {
+	in, prev := exampleInput(exampleBase)
+
+	newChain, err := nfspec.Parse(`
+chain bronze {
+  slo { tmin = 1Gbps  tmax = 100Gbps }
+  aggregate { src = 10.3.0.0/16 }
+  lim0 = Limiter()
+  fwd0 = IPv4Fwd()
+  lim0 -> fwd0
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := nfgraph.Build(newChain[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	grown := *in
+	grown.Chains = append(append([]*nfgraph.Graph(nil), in.Chains...), g)
+
+	rep, err := placer.Admit(prev, &grown, []int{len(in.Chains)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("outcome:", rep.Outcome)
+	fmt.Println("prior subgroups pinned:", rep.PinnedSubgroups == len(prev.Subgroups))
+	fmt.Println("chains placed:", len(rep.Result.ChainRates))
+	// Output:
+	// outcome: incremental
+	// prior subgroups pinned: true
+	// chains placed: 3
+}
+
+// ExampleRetire retracts a running chain: its slot stays (so SPI ranges and
+// chain indices never shift) but its resources are reclaimed, while every
+// surviving chain keeps its exact subgroups and NIC queues.
+func ExampleRetire() {
+	in, prev := exampleInput(exampleBase)
+
+	res, err := placer.Retire(prev, in, []int{0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("feasible:", res.Feasible)
+	fmt.Println("gold retired:", res.IsRetired(0))
+	fmt.Println("silver retired:", res.IsRetired(1))
+	fmt.Println("gold rate zeroed:", res.ChainRates[0] == 0)
+	// Output:
+	// feasible: true
+	// gold retired: true
+	// silver retired: false
+	// gold rate zeroed: true
+}

@@ -90,7 +90,7 @@ func checkLatency(in *Input, res *Result) (string, bool) {
 	const switchPipelineSec = 1e-6
 	for ci, g := range in.Chains {
 		dmax := g.Chain.SLO.DMaxSec
-		if dmax <= 0 {
+		if dmax <= 0 || res.IsRetired(ci) {
 			continue
 		}
 		worst := 0.0

@@ -75,6 +75,14 @@ type Input struct {
 	// "No Core Allocation" ablation).
 	DisableCoreScaling bool
 
+	// HeadroomCores withholds this many worker cores per server from the
+	// discretionary spare-core pour, so an online deployment keeps budget
+	// free for future Admit calls. Raising subgroups to t_min may still
+	// consume the reserve (feasibility comes first); only the
+	// throughput-maximizing extra cores honor it. 0 reserves nothing, which
+	// matches the paper's offline placement.
+	HeadroomCores int
+
 	// DisableCoalescing ablates heuristic step 2 (subgroup coalescing).
 	DisableCoalescing bool
 
@@ -139,7 +147,10 @@ type NICUse struct {
 	Cycles   float64
 }
 
-// Result is a finished placement.
+// Result is a finished placement. Rates are bits/sec, cores are whole
+// worker cores, Stages counts PISA pipeline stages. Placement is
+// deterministic: the same Input and Scheme always yield the same Result,
+// at any Input.Parallel worker count.
 type Result struct {
 	Scheme   Scheme
 	Feasible bool
@@ -165,8 +176,32 @@ type Result struct {
 	// Stages is the PISA compiler's verdict for this placement.
 	Stages int
 
+	// Retired marks chain slots that have been retired by Retire. A chain's
+	// index determines its SPI range and downstream pointer-keyed state, so
+	// retiring keeps the slot (the chain stays in Input.Chains) but removes
+	// every assignment and resource: retired slots contribute no subgroups,
+	// no NIC uses, no switch tables, and a zero rate in the LP. nil means no
+	// slot is retired; churn-free placements never allocate it.
+	Retired []bool
+
 	// PlaceTime is how long placement took.
 	PlaceTime time.Duration
+}
+
+// IsRetired reports whether chain slot ci has been retired (see Retired).
+func (res *Result) IsRetired(ci int) bool {
+	return res.Retired != nil && ci < len(res.Retired) && res.Retired[ci]
+}
+
+// ActiveChains counts chain slots that are not retired.
+func (res *Result) ActiveChains() int {
+	active := 0
+	for ci := 0; ci < len(res.ChainRates); ci++ {
+		if !res.IsRetired(ci) {
+			active++
+		}
+	}
+	return active
 }
 
 // Infeasible constructs a failed result.

@@ -108,11 +108,28 @@ func solveRates(in *Input, res *Result) (string, bool) {
 			tmin[i] = g.Chain.SLO.TMinBps
 		}
 	}
+	if res.Retired != nil {
+		// Retired chain slots carry no traffic: t_min drops to zero on a
+		// local copy (the prep's tmins are shared read-only) and the rate is
+		// pinned at zero below, so a retired slot never constrains or claims
+		// link capacity.
+		t2 := make([]float64, n)
+		copy(t2, tmin[:n])
+		for i := range t2 {
+			if res.IsRetired(i) {
+				t2[i] = 0
+			}
+		}
+		tmin = t2
+	}
 	prob := lp.Problem{C: ones, A: make([][]float64, 0, n+4), B: make([]float64, 0, n+4)}
 	arena := newRowArena(n, n+4)
 	for i, g := range in.Chains {
 		ub := minF(chainCapBps(in, res, i), g.Chain.SLO.TMaxBps)
 		ub = minF(ub, in.Topo.Switch.PortCapacityBps) // ingress port
+		if res.IsRetired(i) {
+			ub = 0 // retired slot: rate forced to zero
+		}
 		if ub < tmin[i]-1e-6 {
 			return fmt.Sprintf("chain %s: capacity %.3g bps < t_min %.3g bps",
 				g.Chain.Name, ub, tmin[i]), false
@@ -302,7 +319,9 @@ func allocateCores(in *Input, res *Result, policy allocPolicy) (string, bool) {
 		return "", true
 	}
 
-	spare := func(srv string) int { return budget[srv] - used[srv] }
+	// Discretionary cores honor the admission-headroom reserve; the t_min
+	// raise above does not (SLO feasibility outranks future admissions).
+	spare := func(srv string) int { return budget[srv] - in.HeadroomCores - used[srv] }
 	give := func(sg *Subgroup) bool {
 		if !sg.Replicable || spare(sg.Server) <= 0 {
 			return false

@@ -420,7 +420,7 @@ func mergeBreaks(a, b map[*nfgraph.Node]bool) map[*nfgraph.Node]bool {
 // chain set is re-checked (stages, latency, rate LP). The empty reason
 // means success.
 func assembleReplace(in, rin *Input, prev *Result, assign map[*nfgraph.Node]Assign, breaks map[*nfgraph.Node]bool, isAffected []bool) (*Result, string) {
-	res := &Result{Assign: assign, Breaks: breaks}
+	res := &Result{Assign: assign, Breaks: breaks, Retired: prev.Retired}
 	fresh := map[*Subgroup]bool{}
 	for ci, g := range in.Chains {
 		if isAffected[ci] {
@@ -483,6 +483,10 @@ func allocateCoresReplace(rin *Input, res *Result, fresh map[*Subgroup]bool) (st
 		}
 	}
 	spare := func(srv string) int { return budget[srv] - used[srv] }
+	// Discretionary cores honor the admission-headroom reserve so that a
+	// rack placed with headroom keeps it across successive admissions; the
+	// t_min raise below uses the full budget (feasibility comes first).
+	slack := func(srv string) int { return budget[srv] - rin.HeadroomCores - used[srv] }
 
 	if !rin.DisableCoreScaling {
 		for _, sg := range res.Subgroups {
@@ -530,7 +534,7 @@ func allocateCoresReplace(rin *Input, res *Result, fresh map[*Subgroup]bool) (st
 						bottleRate, bottleneck = r, c
 					}
 				}
-				if bottleneck == nil || !bottleneck.Replicable || spare(bottleneck.Server) <= 0 {
+				if bottleneck == nil || !bottleneck.Replicable || slack(bottleneck.Server) <= 0 {
 					break
 				}
 				// Only grow when the bottleneck actually caps the chain

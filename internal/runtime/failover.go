@@ -177,13 +177,14 @@ func (fc *faultCtx) finalize(res *SimResult, tb *Testbed, cfg *SimConfig, frameB
 }
 
 // rebuildSimArrays re-derives the simulator's dense accounting state after
-// a mid-run rewire: a fresh dispatch index over the updated deployment,
-// with pinned subgroups carrying their realized costs, budgets, and credits
-// across (keyed by bess-subgroup identity) and re-placed subgroups drawing
-// fresh costs from the run's rng in index order — deterministic for a
-// fixed seed and fault plan. Degrade/overload multipliers already in force
-// are applied to the fresh entries' budgets and costs.
-func rebuildSimArrays(tb *Testbed, fc *faultCtx, cfg *SimConfig, rng *rand.Rand,
+// a mid-run rewire — failover, admission, or retirement: a fresh dispatch
+// index over the updated deployment, with pinned subgroups carrying their
+// realized costs, budgets, and credits across (keyed by bess-subgroup
+// identity) and new or re-placed subgroups drawing fresh costs from the
+// run's rng in index order — deterministic for a fixed seed and schedule.
+// capFactor/costFactor carry any degrade/overload multipliers already in
+// force (nil-safe; churn passes nil) and apply to fresh entries only.
+func rebuildSimArrays(tb *Testbed, capFactor, costFactor map[string]float64, cfg *SimConfig, rng *rand.Rand,
 	old *simIndex, cost, budget, credit []float64) (*simIndex, []float64, []float64, []float64, error) {
 
 	in := tb.D.Input
@@ -212,9 +213,9 @@ func rebuildSimArrays(tb *Testbed, fc *faultCtx, cfg *SimConfig, rng *rand.Rand,
 		if e.cross {
 			c *= in.Topo.CrossSocketPenalty
 		}
-		nCost[i] = c * mult(fc.costFactor, e.psg.Server)
+		nCost[i] = c * mult(costFactor, e.psg.Server)
 		nBudget[i] = float64(e.psg.Cores) * e.srv.ClockHz * cfg.StepSec / cfg.Scale *
-			mult(fc.capFactor, e.psg.Server)
+			mult(capFactor, e.psg.Server)
 	}
 	tb.simIdx = ix // keep the lazy cache coherent with the rewired deployment
 	return ix, nCost, nBudget, nCredit, nil

@@ -7,7 +7,9 @@ import (
 
 	"lemur/internal/bess"
 	"lemur/internal/chaos"
+	"lemur/internal/churn"
 	"lemur/internal/nf"
+	"lemur/internal/nfgraph"
 	"lemur/internal/nsh"
 	"lemur/internal/obs"
 	"lemur/internal/pisa"
@@ -52,6 +54,20 @@ type SimConfig struct {
 	// byte-identical to the fault-free fast path.
 	Faults *chaos.Plan
 
+	// Churn is an optional deterministic chain-churn schedule: admissions
+	// and retirements requested at simulated times, each landing after the
+	// same detection+reconfiguration window chaos uses. Admissions run the
+	// incremental placer.Admit → Deployment.AdmitChains path mid-run (only
+	// pin-preserving verdicts are applied; full-repack answers are recorded
+	// as rejections); retirements stop the chain's offered load at the
+	// request and reclaim its resources at the landing. A nil or empty plan
+	// leaves the engine byte-identical to the churn-free fast path. Churn
+	// and Faults are mutually exclusive in one run.
+	Churn *churn.Plan
+	// ChurnCatalog resolves admit events' chain names to pre-built NF
+	// graphs. Every admit target in Churn must be present.
+	ChurnCatalog map[string]*nfgraph.Graph
+
 	// debugCheckDelays makes the engine fail if a packet's accumulated
 	// queue wait ever exceeds its total lifetime — the invariant the
 	// per-park accounting restores. Test-only.
@@ -73,7 +89,10 @@ func (c *SimConfig) defaults() {
 	}
 }
 
-// SimResult reports per-chain dynamics.
+// SimResult reports per-chain dynamics. Rates are bits/sec, delays are
+// seconds of simulated time. Deterministic: the same deployment, offered
+// vector, and SimConfig (seed included) always produce a byte-identical
+// SimResult.
 type SimResult struct {
 	OfferedBps  []float64
 	AchievedBps []float64 // egressed goodput, rescaled
@@ -88,6 +107,12 @@ type SimResult struct {
 	// Failover carries the fault-injection outcome; nil unless the run was
 	// configured with a non-empty chaos plan.
 	Failover *FailoverReport `json:",omitempty"`
+
+	// Churn carries the chain-churn outcome; nil unless the run was
+	// configured with a non-empty churn plan. Per-chain slices in the main
+	// result (and here) are indexed by final chain slot: chains admitted
+	// mid-run occupy the appended tail, retired chains keep their slot.
+	Churn *ChurnReport `json:",omitempty"`
 }
 
 // simPacket is one in-flight packet.
@@ -143,6 +168,21 @@ func (tb *Testbed) Simulate(offered []float64, cfg SimConfig) (*SimResult, error
 		if err != nil {
 			return nil, err
 		}
+	}
+	// Chain churn engages only for a non-empty plan, keeping the churn-free
+	// path byte-identical to the previous engine.
+	var cc *churnCtx
+	if !cfg.Churn.Empty() {
+		if fc != nil {
+			return nil, fmt.Errorf("runtime: fault and churn schedules cannot be combined in one run")
+		}
+		cc, err = newChurnCtx(cfg.Churn, cfg.ChurnCatalog, len(in.Chains))
+		if err != nil {
+			return nil, err
+		}
+		// Retirements zero slots and admissions append; work on a copy so
+		// the caller's offered slice is never mutated.
+		offered = append([]float64(nil), offered...)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed*17 + 3))
 	env := &nf.Env{Rand: rng}
@@ -233,6 +273,9 @@ func (tb *Testbed) Simulate(offered []float64, cfg SimConfig) (*SimResult, error
 	}
 	if fc != nil {
 		res.Failover = fc.report
+	}
+	if cc != nil {
+		res.Churn = cc.report
 	}
 	dropped := make([]int, len(offered))
 	drop := func(ci int) {
@@ -432,6 +475,49 @@ func (tb *Testbed) Simulate(offered []float64, cfg SimConfig) (*SimResult, error
 	// capacity is not floored to whole packets per step.
 	stepCredit := make([]float64, ix.nPrimary)
 
+	// rebuildAndMigrate swaps the simulator's accounting state after any
+	// mid-run rewire (failover, admission, or retirement): fresh index and
+	// cost/budget/credit arrays with pinned entries carried across, parked
+	// packets migrated to their (pinned) subgroups' new entries by
+	// bess-subgroup identity, and per-subgroup metric handles re-hoisted.
+	// Packets with no surviving entry are handed to onOrphan and dropped, as
+	// a real reconfiguration loses them.
+	rebuildAndMigrate := func(capFactor, costFactor map[string]float64, onOrphan func(*simPacket)) error {
+		newIx, nCost, nBudget, nCredit, rerr := rebuildSimArrays(tb, capFactor, costFactor, &cfg, rng, ix, cost, budget, credit)
+		if rerr != nil {
+			return rerr
+		}
+		newRings := make([]packetRing, len(newIx.entries))
+		for i := range newRings {
+			newRings[i].buf = make([]*simPacket, cfg.QueueCap)
+		}
+		for i := range ix.entries {
+			r := &rings[i]
+			n0 := r.n
+			if n0 == 0 {
+				continue
+			}
+			tgt := int32(-1)
+			if ni, ok := newIx.idxOf[ix.entries[i].sub]; ok {
+				tgt = ni
+			}
+			for k := 0; k < n0; k++ {
+				p := r.at(k)
+				if tgt >= 0 && newRings[tgt].n < cfg.QueueCap {
+					newRings[tgt].push(p)
+				} else {
+					onOrphan(p)
+					die(p, p.frame)
+				}
+			}
+			r.popServed(n0)
+		}
+		ix, cost, budget, credit, rings = newIx, nCost, nBudget, nCredit, newRings
+		hoistHandles()
+		stepCredit = make([]float64, ix.nPrimary)
+		return nil
+	}
+
 	// applyFaults fires due chaos events at a step boundary: crashes drain
 	// and blackhole their device, degrades/overloads rescale budgets/costs,
 	// and a matured detection+reconfiguration window runs the incremental
@@ -521,40 +607,11 @@ func (tb *Testbed) Simulate(offered []float64, cfg SimConfig) (*SimResult, error
 				return nil
 			}
 			fc.report.RewireSummary = rep.String()
-			newIx, nCost, nBudget, nCredit, rerr := rebuildSimArrays(tb, fc, &cfg, rng, ix, cost, budget, credit)
-			if rerr != nil {
+			if rerr := rebuildAndMigrate(fc.capFactor, fc.costFactor, func(p *simPacket) {
+				fc.report.FaultDrops[p.chain]++
+			}); rerr != nil {
 				return rerr
 			}
-			// Migrate parked packets by bess-subgroup identity; packets of
-			// re-placed chains have no surviving entry and drop here.
-			newRings := make([]packetRing, len(newIx.entries))
-			for i := range newRings {
-				newRings[i].buf = make([]*simPacket, cfg.QueueCap)
-			}
-			for i := range ix.entries {
-				r := &rings[i]
-				n0 := r.n
-				if n0 == 0 {
-					continue
-				}
-				tgt := int32(-1)
-				if ni, ok := newIx.idxOf[ix.entries[i].sub]; ok {
-					tgt = ni
-				}
-				for k := 0; k < n0; k++ {
-					p := r.at(k)
-					if tgt >= 0 && newRings[tgt].n < cfg.QueueCap {
-						newRings[tgt].push(p)
-					} else {
-						fc.report.FaultDrops[p.chain]++
-						die(p, p.frame)
-					}
-				}
-				r.popServed(n0)
-			}
-			ix, cost, budget, credit, rings = newIx, nCost, nBudget, nCredit, newRings
-			hoistHandles()
-			stepCredit = make([]float64, ix.nPrimary)
 			for _, ci := range affected {
 				if fc.downSince[ci] >= 0 {
 					fc.report.DowntimeSec[ci] += at - fc.downSince[ci]
@@ -567,11 +624,156 @@ func (tb *Testbed) Simulate(offered []float64, cfg SimConfig) (*SimResult, error
 		return nil
 	}
 
+	// liveSlot resolves a chain name to its running (non-retired) slot in
+	// the current deployment, or -1.
+	liveSlot := func(name string) int {
+		for ci, g := range tb.D.Input.Chains {
+			if g.Chain.Name == name && !tb.D.Result.IsRetired(ci) {
+				return ci
+			}
+		}
+		return -1
+	}
+
+	// applyChurn fires due churn requests at a step boundary and lands the
+	// ones whose detection+reconfiguration window has matured. A retirement
+	// stops the chain's offered load at the request (the tenant has left)
+	// and reclaims resources at the landing; an admission solves at the
+	// landing — placer.Admit against the then-current deployment — so
+	// overlapping events always see fresh state. Only pin-preserving
+	// admission verdicts are applied; anything else is recorded as a
+	// rejection, never a disruptive mid-run repack.
+	applyChurn := func(now float64) error {
+		for cc.next < len(cc.events) && cc.events[cc.next].AtSec <= now+1e-12 {
+			ev := cc.events[cc.next]
+			cc.next++
+			cc.report.Events = append(cc.report.Events, ev.String())
+			switch ev.Kind {
+			case churn.Admit:
+				cc.pending = append(cc.pending, pendingChurn{
+					kind: churn.Admit, atSec: ev.AtSec + cc.detect + cc.reconfig,
+					reqSec: ev.AtSec, name: ev.Chain,
+				})
+			case churn.Retire:
+				slot := liveSlot(ev.Chain)
+				if slot < 0 {
+					cc.reject(ev, "no such running chain")
+					continue
+				}
+				if cc.pendingRetire(slot) {
+					cc.reject(ev, "already retiring")
+					continue
+				}
+				offered[slot] = 0
+				cc.pending = append(cc.pending, pendingChurn{
+					kind: churn.Retire, atSec: ev.AtSec + cc.detect + cc.reconfig,
+					reqSec: ev.AtSec, name: ev.Chain, slot: slot,
+				})
+			}
+		}
+		for len(cc.pending) > 0 && cc.pending[0].atSec <= now+1e-12 {
+			pd := cc.pending[0]
+			cc.pending = cc.pending[1:]
+			reqEv := churn.Event{Kind: pd.kind, Chain: pd.name, AtSec: pd.reqSec}
+			switch pd.kind {
+			case churn.Admit:
+				if liveSlot(pd.name) >= 0 {
+					cc.reject(reqEv, "chain already running")
+					continue
+				}
+				nOld := len(tb.D.Input.Chains)
+				grown := *tb.D.Input
+				grown.Chains = make([]*nfgraph.Graph, nOld+1)
+				copy(grown.Chains, tb.D.Input.Chains)
+				grown.Chains[nOld] = cc.catalog[pd.name]
+				newIn := &grown
+				arep, aerr := placer.Admit(tb.D.Result, newIn, []int{nOld})
+				if aerr != nil {
+					cc.reject(reqEv, aerr.Error())
+					continue
+				}
+				if arep.Outcome != placer.AdmitIncremental {
+					reason := arep.Outcome.String()
+					if arep.IncrementalReason != "" {
+						reason += ": " + arep.IncrementalReason
+					}
+					cc.reject(reqEv, reason)
+					continue
+				}
+				rep, rerr := tb.D.AdmitChains(newIn, arep.Result, []int{nOld})
+				if rerr != nil {
+					return rerr
+				}
+				cc.report.RewireSummaries = append(cc.report.RewireSummaries, rep.String())
+				// Grow every per-chain engine array for the new tail slot.
+				rate := arep.Result.ChainRates[nOld]
+				offered = append(offered, rate)
+				res.OfferedBps = append(res.OfferedBps, rate)
+				res.AchievedBps = append(res.AchievedBps, 0)
+				res.DropRate = append(res.DropRate, 0)
+				res.AvgQueueDelaySec = append(res.AvgQueueDelaySec, 0)
+				res.Injected = append(res.Injected, 0)
+				res.Egressed = append(res.Egressed, 0)
+				dropped = append(dropped, 0)
+				queueDelay = append(queueDelay, 0)
+				acc = append(acc, 0)
+				expect := int(rate/frameBits/cfg.Scale*(cfg.DurationSec-now)) + 16
+				delaySamples = append(delaySamples, make([]float64, 0, expect))
+				agg := newIn.Chains[nOld].Chain.Aggregate
+				gen, gerr := trafficgen.New(trafficgen.Config{
+					Mode: trafficgen.LongLived, Seed: cfg.Seed + int64(nOld),
+					SrcCIDR: agg.SrcCIDR, DstCIDR: agg.DstCIDR,
+					Proto: agg.Proto, DstPort: agg.DstPort,
+				})
+				if gerr != nil {
+					return gerr
+				}
+				gens = append(gens, gen)
+				lbl := obs.L("chain", strconv.Itoa(nOld))
+				injC = append(injC, obs.C("lemur_sim_injected_total", lbl))
+				egrC = append(egrC, obs.C("lemur_sim_egressed_total", lbl))
+				drpC = append(drpC, obs.C("lemur_sim_dropped_total", lbl))
+				cc.growChain(pd.reqSec, pd.atSec)
+				if rerr := rebuildAndMigrate(nil, nil, func(p *simPacket) {
+					cc.report.ChurnDrops[p.chain]++
+				}); rerr != nil {
+					return rerr
+				}
+				cc.markPost(pd.atSec, res.Egressed)
+				obs.C("lemur_sim_admissions_total").Inc()
+			case churn.Retire:
+				nextRes, rerr := placer.Retire(tb.D.Result, tb.D.Input, []int{pd.slot})
+				if rerr != nil {
+					return rerr
+				}
+				rep, rerr := tb.D.RetireChains(nextRes, []int{pd.slot})
+				if rerr != nil {
+					return rerr
+				}
+				cc.report.RewireSummaries = append(cc.report.RewireSummaries, rep.String())
+				cc.report.RetiredAtSec[pd.slot] = pd.atSec
+				if rerr := rebuildAndMigrate(nil, nil, func(p *simPacket) {
+					cc.report.ChurnDrops[p.chain]++
+				}); rerr != nil {
+					return rerr
+				}
+				cc.markPost(pd.atSec, res.Egressed)
+				obs.C("lemur_sim_retirements_total").Inc()
+			}
+		}
+		return nil
+	}
+
 	for step := 0; step < steps; step++ {
 		now := float64(step) * cfg.StepSec
 		env.NowSec = now
 		if fc != nil {
 			if err := applyFaults(now); err != nil {
+				return nil, err
+			}
+		}
+		if cc != nil {
+			if err := applyChurn(now); err != nil {
 				return nil, err
 			}
 		}
@@ -643,10 +845,16 @@ func (tb *Testbed) Simulate(offered []float64, cfg SimConfig) (*SimResult, error
 				h.Observe(util)
 			}
 		}
+		if cc != nil {
+			cc.noteFirstEgress(now+cfg.StepSec, res.Egressed)
+		}
 	}
 
 	if fc != nil {
 		fc.finalize(res, tb, &cfg, frameBits)
+	}
+	if cc != nil {
+		cc.finalize(res, tb, &cfg, frameBits, offered)
 	}
 	res.P99QueueDelaySec = make([]float64, len(offered))
 	for ci := range offered {

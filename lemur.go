@@ -30,9 +30,11 @@ import (
 	"strings"
 
 	"lemur/internal/chaos"
+	"lemur/internal/churn"
 	"lemur/internal/core"
 	"lemur/internal/hw"
 	"lemur/internal/metacompiler"
+	"lemur/internal/nfgraph"
 	"lemur/internal/placer"
 	"lemur/internal/runtime"
 )
@@ -60,6 +62,7 @@ type options struct {
 	restrict map[string][]hw.Platform
 	seed     int64
 	parallel int
+	headroom int
 }
 
 // WithSmartNIC attaches a 40G eBPF SmartNIC to the first server.
@@ -111,6 +114,16 @@ func WithParallel(n int) Option {
 	return func(o *options) { o.parallel = n }
 }
 
+// WithAdmissionHeadroom reserves cores worker cores per server that the
+// placer's throughput-maximizing spare-core pour will not touch, keeping
+// budget free for chains admitted later (SimulateChurn, placer.Admit). The
+// reserve is discretionary: raising a chain to its t_min SLO may still use
+// the cores. The default 0 matches the paper's offline placement, which
+// spends every core on marginal throughput.
+func WithAdmissionHeadroom(cores int) Option {
+	return func(o *options) { o.headroom = cores }
+}
+
 // System is one Lemur instance over the paper's rack-scale testbed topology
 // (a Tofino-class ToR plus Xeon NF servers).
 type System struct {
@@ -128,6 +141,7 @@ func New(opts ...Option) *System {
 	sys.Restrict = o.restrict
 	sys.Seed = o.seed
 	sys.Parallel = o.parallel
+	sys.Headroom = o.headroom
 	return &System{sys: sys}
 }
 
@@ -326,7 +340,9 @@ func (d *Deployment) AutoGeneratedShare() float64 {
 
 // SimReport summarizes a discrete-time simulation run: per-chain goodput,
 // loss, queueing delay at server subgroups, and packet accounting. Failover
-// is non-nil only for SimulateWithFaults runs.
+// is non-nil only for SimulateWithFaults runs; Churn only for SimulateChurn
+// runs (whose per-chain slices index final chain slots — admitted chains
+// occupy the appended tail).
 type SimReport struct {
 	AchievedBps      []float64
 	DropRate         []float64
@@ -335,6 +351,7 @@ type SimReport struct {
 	Injected         []int
 	Egressed         []int
 	Failover         *FailoverOutcome
+	Churn            *ChurnOutcome
 }
 
 // FailoverOutcome reports a fault-injection run: which scheduled events
@@ -352,6 +369,82 @@ type FailoverOutcome struct {
 	PostWindowSec     float64
 	PostAchievedBps   []float64
 	PostSLOCompliant  []bool
+}
+
+// ChurnOutcome reports a chain-churn run: which scheduled admissions and
+// retirements fired, which were rejected (and why), per-chain admission
+// latency and churn drops, and post-churn SLO compliance. Per-chain slices
+// index final chain slots: chains admitted mid-run occupy the appended tail,
+// retired chains keep their slot. Times are seconds of simulated time;
+// rates are bits/sec.
+type ChurnOutcome struct {
+	Events            []string
+	DetectionDelaySec float64
+	ReconfigDelaySec  float64
+	Rejected          []string
+	RewireSummaries   []string
+	AdmittedAtSec     []float64
+	AdmitLatencySec   []float64
+	RetiredAtSec      []float64
+	ChurnDrops        []int
+	PostWindowSec     float64
+	PostAchievedBps   []float64
+	PostSLOCompliant  []bool
+}
+
+// SimulateChurn runs the discrete-time simulator under a deterministic
+// chain-churn schedule (the churn grammar, e.g. "admit:chain6@0.3s" or
+// "admit:web@0.1s;retire:chain2@0.6s"). Chains named by admit events must be
+// loaded into the System but are held out of the initial deployment: the run
+// starts with the remaining chains placed and deployed, then each admission
+// lands after the detection+reconfiguration window via the incremental
+// placer.Admit path (pin-preserving only — full-repack verdicts are recorded
+// as rejections), and each retirement stops the chain's load at the request
+// and reclaims its resources at the landing. Every chain offers loadFactor ×
+// its placed rate; admitted chains offer their admitted rate.
+//
+// The returned report's Churn field carries the schedule outcome. Like a
+// fault run, a churn run rewires its deployment in place, so each call
+// deploys fresh state; the System's cached placement is untouched.
+func (s *System) SimulateChurn(loadFactor float64, schedule string) (*SimReport, error) {
+	plan, err := churn.Parse(schedule)
+	if err != nil {
+		return nil, err
+	}
+	admitTargets := map[string]bool{}
+	for _, ev := range plan.Events {
+		if ev.Kind == churn.Admit {
+			admitTargets[ev.Chain] = true
+		}
+	}
+	catalog := map[string]*nfgraph.Graph{}
+	for _, g := range s.sys.Graphs() {
+		if admitTargets[g.Chain.Name] {
+			catalog[g.Chain.Name] = g
+		}
+	}
+	for name := range admitTargets {
+		if catalog[name] == nil {
+			return nil, fmt.Errorf("lemur: admit target %q is not a loaded chain", name)
+		}
+	}
+	base := s.sys.Subset(func(name string) bool { return !admitTargets[name] })
+	tb, err := base.Deploy()
+	if err != nil {
+		return nil, err
+	}
+	res := base.Result()
+	offered := make([]float64, len(res.ChainRates))
+	for i, r := range res.ChainRates {
+		offered[i] = r * loadFactor
+	}
+	sim, err := tb.Simulate(offered, runtime.SimConfig{
+		Seed: tb.Seed, DurationSec: 0.5, Churn: plan, ChurnCatalog: catalog,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return newSimReport(sim), nil
 }
 
 // Simulate runs the discrete-time packet simulator with every chain
@@ -389,6 +482,12 @@ func (d *Deployment) simulate(loadFactor float64, plan *chaos.Plan) (*SimReport,
 	if err != nil {
 		return nil, err
 	}
+	return newSimReport(sim), nil
+}
+
+// newSimReport translates the runtime's simulation result into the public
+// report shape.
+func newSimReport(sim *runtime.SimResult) *SimReport {
 	rep := &SimReport{
 		AchievedBps:      sim.AchievedBps,
 		DropRate:         sim.DropRate,
@@ -411,5 +510,21 @@ func (d *Deployment) simulate(loadFactor float64, plan *chaos.Plan) (*SimReport,
 			PostSLOCompliant:  fo.PostSLOCompliant,
 		}
 	}
-	return rep, nil
+	if co := sim.Churn; co != nil {
+		rep.Churn = &ChurnOutcome{
+			Events:            co.Events,
+			DetectionDelaySec: co.DetectionDelaySec,
+			ReconfigDelaySec:  co.ReconfigDelaySec,
+			Rejected:          co.Rejected,
+			RewireSummaries:   co.RewireSummaries,
+			AdmittedAtSec:     co.AdmittedAtSec,
+			AdmitLatencySec:   co.AdmitLatencySec,
+			RetiredAtSec:      co.RetiredAtSec,
+			ChurnDrops:        co.ChurnDrops,
+			PostWindowSec:     co.PostWindowSec,
+			PostAchievedBps:   co.PostAchievedBps,
+			PostSLOCompliant:  co.PostSLOCompliant,
+		}
+	}
+	return rep
 }
