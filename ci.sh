@@ -23,11 +23,13 @@ echo "==> go test -race ./..."
 go test -race ./...
 
 # The parallel placement engine, experiment runner (incl. the parallel sim,
-# failover and churn sweeps), batched simulator, and the reconfiguration
-# stack (chaos + churn plans, incremental rewire) get an extra race pass
-# with their property tests un-shortened (the ./... run above may cache).
-echo "==> go test -race -count=1 ./internal/placer ./internal/experiments ./internal/runtime ./internal/chaos ./internal/churn ./internal/metacompiler"
-go test -race -count=1 ./internal/placer ./internal/experiments ./internal/runtime ./internal/chaos ./internal/churn ./internal/metacompiler
+# failover, churn and flow-scale sweeps), batched simulator, the
+# reconfiguration stack (chaos + churn plans, incremental rewire), and the
+# million-flow state layer (sharded NF tables, arena flow schedules) get an
+# extra race pass with their property tests un-shortened (the ./... run
+# above may cache).
+echo "==> go test -race -count=1 ./internal/placer ./internal/experiments ./internal/runtime ./internal/chaos ./internal/churn ./internal/metacompiler ./internal/nf ./internal/trafficgen"
+go test -race -count=1 ./internal/placer ./internal/experiments ./internal/runtime ./internal/chaos ./internal/churn ./internal/metacompiler ./internal/nf ./internal/trafficgen
 
 # Fuzz smoke: ten seconds of FuzzReplace exercises the incremental
 # re-placement invariants (pinning, no-failure identity) beyond the seed
@@ -38,6 +40,12 @@ go test -run '^$' -fuzz 'FuzzReplace' -fuzztime=10s ./internal/placer
 
 echo "==> fuzz smoke (FuzzChurnPlan, 10s)"
 go test -run '^$' -fuzz 'FuzzChurnPlan' -fuzztime=10s ./internal/churn
+
+# Ten seconds of FuzzFlowSchedule exercises the arena flow-schedule
+# round-trip: regeneration determinism, birth-order/hash consistency, and
+# replay-window equality against a brute-force liveness scan.
+echo "==> fuzz smoke (FuzzFlowSchedule, 10s)"
+go test -run '^$' -fuzz 'FuzzFlowSchedule' -fuzztime=10s ./internal/trafficgen
 
 # Coverage gate: total statement coverage must not regress below the
 # recorded baseline (80.0% when this gate was added; floor leaves a small
@@ -64,10 +72,27 @@ awk -v t="$churn" -v f="$CHURN_FLOOR" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || {
   exit 1
 }
 
+# The million-flow state layer (sharded NF tables, arena flow schedules,
+# FlowScale plumbing, scale sweep) gets its own aggregate floor so the
+# scale path cannot silently lose its tests.
+SCALE_FLOOR=75.0
+scale=$(awk '$1 ~ /internal\/nf\/(flowtab|nat|monitor|dedup|lb|reference)\.go|internal\/trafficgen\/|internal\/runtime\/flowscale\.go|internal\/experiments\/scalesweep\.go/ {
+    total += $2; if ($3 > 0) covered += $2 }
+  END { if (total > 0) printf "%.1f", 100 * covered / total; else print 0 }' /tmp/lemur-cover.out)
+echo "    scale-file coverage: ${scale}%"
+awk -v t="$scale" -v f="$SCALE_FLOOR" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || {
+  echo "ci: scale-file coverage ${scale}% fell below the ${SCALE_FLOOR}% floor" >&2
+  exit 1
+}
+
 # Allocation-regression guard: the arena-backed simulator must stay under its
-# fixed allocs-per-packet budget (testing.AllocsPerRun inside the test).
+# fixed allocs-per-packet budget (testing.AllocsPerRun inside the test), and
+# the million-flow smoke must hold steady state under 0.5 allocs/packet.
 echo "==> simulator allocation guard"
 go test -run 'TestSimulateAllocBudget' -count=1 ./internal/runtime
+
+echo "==> million-flow allocation guard"
+go test -run 'TestMillionFlowAllocBudget' -count=1 ./internal/runtime
 
 # Benchmark smoke: one iteration of the placement and simulator
 # micro-benchmarks proves the bench harness (and the -bench-out path it

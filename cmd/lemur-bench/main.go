@@ -44,6 +44,8 @@ func main() {
 		parallel    = flag.Int("parallel", 0, "worker count for experiment cells and placer candidate evaluation (0 = GOMAXPROCS cells, serial placer)")
 		benchOut    = flag.String("bench-out", "", "run the placement micro-benchmark sweep and write ns/op + cache stats to this JSON path")
 		sim         = flag.Bool("sim", false, "parallel load-factor sweep with the discrete-time dataplane simulator")
+		scale       = flag.Bool("scale", false, "throughput-vs-flow-count curve: 1k to 1M concurrent flows through the stateful dataplane")
+		scaleOut    = flag.String("scale-out", "", "with -scale: also write the curve (wall-clock throughput included) to this JSON path")
 		failover    = flag.Bool("failover", false, "SLO compliance under k server failures (parallel fault-injection sweep)")
 		churnBench  = flag.Bool("churn", false, "admission-capacity sweep: chains admitted incrementally until first refusal (parallel)")
 	)
@@ -67,6 +69,8 @@ func main() {
 		runBenchOut(*benchOut, *parallel)
 	case *sim:
 		runSimSweep(*parallel)
+	case *scale:
+		runScale(*parallel, *scaleOut)
 	case *failover:
 		runFailover(*parallel)
 	case *churnBench:

@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"lemur/internal/hw"
+	"lemur/internal/metacompiler"
+	"lemur/internal/nf"
+	"lemur/internal/placer"
+	"lemur/internal/runtime"
+)
+
+// The flow-scale sweep: the same placed chain set simulated at increasing
+// concurrent-flow populations (1k → 1M), measuring how the stateful
+// dataplane degrades as NF tables hit their caps — NAT port exhaustion,
+// Monitor/LB FIFO eviction, Dedup cache rotation. Throughput is packets
+// through the simulator per wall-clock second (the sharded-table engine's
+// whole point is holding that flat as flows grow three orders of
+// magnitude); drops and latency come from the SimResult; table pressure is
+// harvested from the deployed NF instances after the run.
+
+// ScalePoint is one flow-count cell: the chain set simulated with a
+// pre-generated population of Flows concurrent flows, sized to inject
+// about TargetPackets packets.
+type ScalePoint struct {
+	Flows         int
+	TargetPackets int
+	Seed          int64
+}
+
+// NFTableState is one stateful NF instance's end-of-run table pressure.
+type NFTableState struct {
+	Class   string `json:"class"`
+	Name    string `json:"name"`
+	Entries int    `json:"entries"`
+	// Evicted counts FIFO evictions (Monitor, Dedup, LB); Exhausted counts
+	// NAT port/entry allocation failures (dropped packets).
+	Evicted   uint64 `json:"evicted,omitempty"`
+	Exhausted uint64 `json:"exhausted,omitempty"`
+}
+
+// ScaleCell is one point's outcome. Everything except WallNs (and the
+// PktsPerSec derived from it) is deterministic for a fixed seed.
+type ScaleCell struct {
+	Point       ScalePoint
+	DurationSec float64
+	Packets     int
+	Egressed    int
+	DropRate    float64
+	// AvgDelaySec / P99DelaySec are the worst per-chain queue delays.
+	AvgDelaySec float64
+	P99DelaySec float64
+	Sim         *runtime.SimResult
+	NFState     []NFTableState
+	// WallNs is the cell's wall-clock simulation time (excluding placement
+	// and compilation). Only meaningful when cells run serially.
+	WallNs int64
+}
+
+// DefaultScalePoints is the committed curve: 1k, 10k, 100k and 1M flows,
+// with enough packets at the top point to churn every table past its cap.
+func DefaultScalePoints(base int64) []ScalePoint {
+	return []ScalePoint{
+		{Flows: 1_000, TargetPackets: 2_000_000, Seed: base},
+		{Flows: 10_000, TargetPackets: 2_000_000, Seed: base + 1},
+		{Flows: 100_000, TargetPackets: 2_000_000, Seed: base + 2},
+		{Flows: 1_000_000, TargetPackets: 10_000_000, Seed: base + 3},
+	}
+}
+
+// ScaleSweep places one chain set once, then simulates every flow-count
+// point on its own freshly compiled deployment (a run mutates NF table
+// state). The simulated duration is derived per point so the injected
+// packet count lands on TargetPackets regardless of the chain set's
+// aggregate rate. Cells run concurrently, bounded by Runner.Parallel, and
+// results are reduced by point index — the deterministic fields are
+// byte-identical at any worker count.
+func (r *Runner) ScaleSweep(chainIdxs []int, delta float64, points []ScalePoint, cfg runtime.SimConfig) ([]ScaleCell, error) {
+	in, _, err := r.input(chainIdxs, delta)
+	if err != nil {
+		return nil, err
+	}
+	// Pin the stateful classes to servers. PISA and SmartNIC match tables
+	// top out at tens of thousands of entries — a million-flow population
+	// only fits in server memory, and only the server NFs carry the sharded
+	// state tables this sweep measures.
+	restrict := map[string][]hw.Platform{}
+	for class, platforms := range in.Restrict {
+		restrict[class] = platforms
+	}
+	for _, class := range []string{"NAT", "Monitor", "Dedup", "LB"} {
+		restrict[class] = []hw.Platform{hw.Server}
+	}
+	in.Restrict = restrict
+	res, err := placer.Place(placer.SchemeLemur, in)
+	if err != nil {
+		return nil, err
+	}
+	if !res.Feasible {
+		return nil, fmt.Errorf("experiments: scalesweep: placement infeasible: %s", res.Reason)
+	}
+	sumRate := 0.0
+	for _, rate := range res.ChainRates {
+		sumRate += rate
+	}
+	if sumRate <= 0 {
+		return nil, fmt.Errorf("experiments: scalesweep: zero aggregate rate")
+	}
+
+	cells := make([]ScaleCell, len(points))
+	sem := make(chan struct{}, r.workers())
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+
+	for pi, pt := range points {
+		wg.Add(1)
+		go func(pi int, pt ScalePoint) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cell, err := r.scaleCell(in, res, pt, cfg, sumRate)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("experiments: scalesweep point %d (%d flows): %w", pi, pt.Flows, err)
+				}
+				return
+			}
+			cells[pi] = *cell
+		}(pi, pt)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return cells, nil
+}
+
+// scaleCell compiles and simulates one flow-count point.
+func (r *Runner) scaleCell(in *placer.Input, res *placer.Result, pt ScalePoint,
+	cfg runtime.SimConfig, sumRate float64) (*ScaleCell, error) {
+	d, err := metacompiler.Compile(in, res)
+	if err != nil {
+		return nil, err
+	}
+	tb := runtime.New(d, r.Seed)
+	offered := append([]float64(nil), res.ChainRates...)
+
+	pcfg := cfg
+	pcfg.Seed = pt.Seed
+	pcfg.FlowScale = pt.Flows
+	if pcfg.Scale <= 0 {
+		// Scale 1: simulate the offered rates unscaled, so multi-million
+		// packet targets stay seconds of simulated time, not hours.
+		pcfg.Scale = 1
+	}
+	if pcfg.StepSec <= 0 {
+		pcfg.StepSec = 1e-3
+	}
+	if pt.TargetPackets > 0 {
+		// The engines inject offered/frameBits/Scale packets per simulated
+		// second across the chain set; invert that for the duration.
+		pktsPerSimSec := sumRate / in.FrameBitsOrDefault() / pcfg.Scale
+		steps := math.Ceil(float64(pt.TargetPackets) / pktsPerSimSec / pcfg.StepSec)
+		pcfg.DurationSec = steps * pcfg.StepSec
+	}
+
+	t0 := time.Now()
+	sim, err := tb.Simulate(offered, pcfg)
+	wall := time.Since(t0)
+	if err != nil {
+		return nil, err
+	}
+	cell := &ScaleCell{
+		Point:       pt,
+		DurationSec: pcfg.DurationSec,
+		Sim:         sim,
+		NFState:     HarvestNFState(d),
+		WallNs:      wall.Nanoseconds(),
+	}
+	for ci := range sim.Injected {
+		cell.Packets += sim.Injected[ci]
+		cell.Egressed += sim.Egressed[ci]
+		if sim.AvgQueueDelaySec[ci] > cell.AvgDelaySec {
+			cell.AvgDelaySec = sim.AvgQueueDelaySec[ci]
+		}
+		if sim.P99QueueDelaySec[ci] > cell.P99DelaySec {
+			cell.P99DelaySec = sim.P99QueueDelaySec[ci]
+		}
+	}
+	if cell.Packets > 0 {
+		cell.DropRate = float64(cell.Packets-cell.Egressed) / float64(cell.Packets)
+	}
+	return cell, nil
+}
+
+// HarvestNFState walks a deployment's pipelines (sorted by server) and
+// SmartNIC path programs (sorted by NIC) and snapshots every stateful NF's
+// table occupancy and pressure counters. Instances reachable through merge
+// aliases are reported once.
+func HarvestNFState(d *metacompiler.Deployment) []NFTableState {
+	var out []NFTableState
+	seen := map[nf.NF]bool{}
+	harvest := func(fn nf.NF) {
+		if seen[fn] {
+			return
+		}
+		seen[fn] = true
+		switch v := fn.(type) {
+		case *nf.NAT:
+			out = append(out, NFTableState{Class: "NAT", Name: v.Name(),
+				Entries: v.Entries(), Exhausted: v.Exhausted})
+		case *nf.Monitor:
+			out = append(out, NFTableState{Class: "Monitor", Name: v.Name(),
+				Entries: v.NumFlows(), Evicted: v.Evicted})
+		case *nf.Dedup:
+			out = append(out, NFTableState{Class: "Dedup", Name: v.Name(),
+				Entries: v.CacheLen(), Evicted: v.Evicted})
+		case *nf.LB:
+			out = append(out, NFTableState{Class: "LB", Name: v.Name(),
+				Entries: v.AffinityFlows(), Evicted: v.Evicted})
+		}
+	}
+	servers := make([]string, 0, len(d.Pipelines))
+	for name := range d.Pipelines {
+		servers = append(servers, name)
+	}
+	sort.Strings(servers)
+	for _, name := range servers {
+		for _, sg := range d.Pipelines[name].Subgroups() {
+			for _, fn := range sg.NFs {
+				harvest(fn)
+			}
+		}
+	}
+	nics := make([]string, 0, len(d.NICs))
+	for name := range d.NICs {
+		nics = append(nics, name)
+	}
+	sort.Strings(nics)
+	for _, name := range nics {
+		for _, pp := range d.NICs[name].PathPrograms() {
+			for _, fn := range pp.NFs {
+				harvest(fn)
+			}
+		}
+	}
+	return out
+}

@@ -12,18 +12,27 @@ import (
 // byte count is therefore smaller than its ingress count for redundant
 // traffic — the data-dependent behaviour §5.2 calls out.
 //
+// The fingerprint cache is a sharded flowTable keyed by the mix64-finalized
+// fingerprint. A full cache evicts its oldest fingerprint FIFO-style, so at
+// high flow counts the cache keeps rotating (slot IDs wrap around the uint32
+// space) instead of freezing on whatever fingerprints arrived first — the
+// graceful-degradation behaviour the million-flow sweep measures.
+//
 // The simulated frame keeps its allocation; the compressed length is exposed
 // via CompressedLen metadata accounting so the runtime can model the reduced
 // egress rate.
 type Dedup struct {
 	base
 	chunk   int
-	cache   map[uint64]uint32 // fingerprint -> cache slot
+	cache   *flowTable[uint64, uint32] // fingerprint -> cache slot
 	nextID  uint32
 	maxSize int
+	so      stateObs
 
 	// Stats for tests and the runtime's egress-rate model.
 	InBytes, OutBytes uint64
+	// Evicted counts fingerprints rotated out of a full cache.
+	Evicted uint64
 }
 
 const dedupShim = 8 // bytes emitted per deduplicated chunk
@@ -31,11 +40,17 @@ const dedupShim = 8 // bytes emitted per deduplicated chunk
 // NewDedup builds the redundancy eliminator. Params: "chunk" (bytes,
 // default 64) and "cache" (max fingerprints, default 65536).
 func NewDedup(name string, params Params) (NF, error) {
+	chunk := params.Int("chunk", 64)
+	maxSize := params.Int("cache", 65536)
+	if Impl == TableReference {
+		return newDedupRef(name, chunk, maxSize), nil
+	}
 	return &Dedup{
 		base:    base{name: name, class: "Dedup"},
-		chunk:   params.Int("chunk", 64),
-		cache:   make(map[uint64]uint32),
-		maxSize: params.Int("cache", 65536),
+		chunk:   chunk,
+		cache:   newFlowTable[uint64, uint32](maxSize, true),
+		maxSize: maxSize,
+		so:      newStateObs("Dedup", name),
 	}, nil
 }
 
@@ -46,19 +61,25 @@ func (d *Dedup) Process(p *packet.Packet, _ *Env) {
 	out := 0
 	for off := 0; off+d.chunk <= len(pay); off += d.chunk {
 		fp := fingerprint(pay[off : off+d.chunk])
-		if slot, ok := d.cache[fp]; ok {
+		h := mix64(fp)
+		if slot := d.cache.get(h, fp); slot != nil {
 			// Redundant chunk: emit an 8-byte shim in place. The remaining
 			// chunk bytes are zeroed to mirror removal.
 			binary.BigEndian.PutUint32(pay[off:], 0xDED0DED0)
-			binary.BigEndian.PutUint32(pay[off+4:], slot)
+			binary.BigEndian.PutUint32(pay[off+4:], *slot)
 			for i := off + dedupShim; i < off+d.chunk; i++ {
 				pay[i] = 0
 			}
 			out += dedupShim
 			continue
 		}
-		if len(d.cache) < d.maxSize {
-			d.cache[fp] = d.nextID
+		if d.maxSize > 0 {
+			if d.cache.count() >= d.maxSize {
+				d.cache.evictOldest()
+				d.Evicted++
+				d.so.evicted.Inc()
+			}
+			*d.cache.insert(h, fp) = d.nextID
 			d.nextID++
 		}
 		out += d.chunk
@@ -66,6 +87,9 @@ func (d *Dedup) Process(p *packet.Packet, _ *Env) {
 	out += len(pay) % d.chunk // trailing partial chunk passes through
 	d.OutBytes += uint64(out)
 }
+
+// CacheLen returns the number of cached fingerprints.
+func (d *Dedup) CacheLen() int { return d.cache.count() }
 
 // CompressionRatio returns egress/ingress bytes so far (1.0 = no savings).
 func (d *Dedup) CompressionRatio() float64 {

@@ -11,10 +11,18 @@ type FlowStats struct {
 }
 
 // Monitor collects per-flow statistics (packets, bytes, first/last seen).
+//
+// The flow table is a sharded flowTable keyed by the five-tuple hash. When
+// the table reaches max_flows the oldest flow (by insertion order) is
+// evicted — deterministic FIFO, unlike the original map-backed version that
+// deleted whatever key map iteration happened to yield. Determinism matters
+// now that eviction is observable through obs counters and the
+// sharded/reference identity property tests.
 type Monitor struct {
 	base
-	flows map[packet.FiveTuple]*FlowStats
+	flows *flowTable[packet.FiveTuple, FlowStats]
 	max   int
+	so    stateObs
 
 	// Evicted counts flows dropped from the table when full.
 	Evicted uint64
@@ -23,10 +31,15 @@ type Monitor struct {
 // NewMonitor builds the statistics collector. Param "max_flows" caps the
 // table (default 100000).
 func NewMonitor(name string, params Params) (NF, error) {
+	maxFlows := params.Int("max_flows", 100000)
+	if Impl == TableReference {
+		return newMonitorRef(name, maxFlows), nil
+	}
 	return &Monitor{
 		base:  base{name: name, class: "Monitor"},
-		flows: make(map[packet.FiveTuple]*FlowStats),
-		max:   params.Int("max_flows", 100000),
+		flows: newFlowTable[packet.FiveTuple, FlowStats](maxFlows, true),
+		max:   maxFlows,
+		so:    newStateObs("Monitor", name),
 	}, nil
 }
 
@@ -36,22 +49,18 @@ func (m *Monitor) Process(p *packet.Packet, env *Env) {
 	if err != nil {
 		return
 	}
-	st, ok := m.flows[tu]
-	if !ok {
-		if len(m.flows) >= m.max {
-			// Evict an arbitrary flow; production monitors use LRU, but the
-			// eviction policy is irrelevant to placement behaviour.
-			for k := range m.flows {
-				delete(m.flows, k)
-				m.Evicted++
-				break
-			}
+	h := tu.Hash()
+	st := m.flows.get(h, tu)
+	if st == nil {
+		if m.flows.count() >= m.max {
+			m.flows.evictOldest()
+			m.Evicted++
+			m.so.evicted.Inc()
 		}
-		st = &FlowStats{}
+		st = m.flows.insert(h, tu)
 		if env != nil {
 			st.FirstSec = env.NowSec
 		}
-		m.flows[tu] = st
 	}
 	st.Packets++
 	st.Bytes += uint64(len(p.Data))
@@ -60,8 +69,12 @@ func (m *Monitor) Process(p *packet.Packet, env *Env) {
 	}
 }
 
-// Stats returns the counters for a flow, or nil if unseen.
-func (m *Monitor) Stats(tu packet.FiveTuple) *FlowStats { return m.flows[tu] }
+// Stats returns the counters for a flow, or nil if unseen. The pointer
+// aliases the flow table's arena and is invalidated by the next Process call
+// that inserts or evicts a flow.
+func (m *Monitor) Stats(tu packet.FiveTuple) *FlowStats {
+	return m.flows.get(tu.Hash(), tu)
+}
 
 // NumFlows returns the number of tracked flows.
-func (m *Monitor) NumFlows() int { return len(m.flows) }
+func (m *Monitor) NumFlows() int { return m.flows.count() }

@@ -1,0 +1,92 @@
+package runtime
+
+import (
+	"sort"
+
+	"lemur/internal/nf"
+	"lemur/internal/nfspec"
+	"lemur/internal/packet"
+	"lemur/internal/trafficgen"
+)
+
+// Flow-scale support: SimConfig.FlowScale swaps each chain's default
+// 40-flow incremental generator for an arena-backed pre-generated schedule
+// (trafficgen.ScheduleInto) so the stateful NFs can be driven with up to
+// millions of concurrent flows. Both engines build their packet sources
+// through newChainGen, so the fast/reference and sharded/reference identity
+// properties hold at any scale.
+
+// frameSource is the per-chain packet source the sim engines draw from —
+// satisfied by both trafficgen.Generator (incremental) and
+// trafficgen.ScheduleGen (arena replay).
+type frameSource interface {
+	// Next produces the next packet at simulated time nowSec, owning a
+	// fresh buffer (reference engine).
+	Next(nowSec float64) *packet.Packet
+	// NextInto produces the next frame into buf with NSH headroom (fast
+	// engine's pooled-buffer path).
+	NextInto(buf []byte, nowSec float64) []byte
+	// FlowCount reports the current live-flow population.
+	FlowCount() int
+}
+
+// newChainGen builds chain ci's traffic source for cfg. FlowScale <= 0 is
+// the legacy path — a plain LongLived generator, byte-identical to every
+// pre-FlowScale run. FlowScale > 0 pre-generates the chain's whole flow
+// population: FlowScale immortal flows, or, with FlowChurn, a schedule
+// arriving at FlowScale/LifeSec flows per second whose steady-state live
+// window holds FlowScale flows.
+func newChainGen(agg nfspec.Aggregate, ci int, cfg *SimConfig) (frameSource, error) {
+	tcfg := trafficgen.Config{
+		Mode: trafficgen.LongLived, Seed: cfg.Seed + int64(ci),
+		SrcCIDR: agg.SrcCIDR, DstCIDR: agg.DstCIDR,
+		Proto: agg.Proto, DstPort: agg.DstPort,
+	}
+	if cfg.FlowScale <= 0 {
+		return trafficgen.New(tcfg)
+	}
+	if cfg.FlowChurn {
+		tcfg.Mode = trafficgen.ShortLived
+		tcfg.NewFlowsSec = cfg.FlowScale // LifeSec defaults to 1 s
+	} else {
+		tcfg.Flows = cfg.FlowScale
+	}
+	sched, err := trafficgen.ScheduleInto(nil, tcfg, cfg.DurationSec)
+	if err != nil {
+		return nil, err
+	}
+	return trafficgen.NewScheduled(tcfg, sched)
+}
+
+// syncStateGauges publishes every deployed stateful NF's end-of-run table
+// occupancy to its lemur_nf_state_entries gauge, walking servers, their
+// pipelines' subgroups, and SmartNIC path programs in sorted (deterministic)
+// order. Called once per Simulate run so gauges track live NF state even
+// though the tables outlive obs registry resets between runs on a warm
+// testbed.
+func (tb *Testbed) syncStateGauges() {
+	servers := make([]string, 0, len(tb.D.Pipelines))
+	for name := range tb.D.Pipelines {
+		servers = append(servers, name)
+	}
+	sort.Strings(servers)
+	for _, name := range servers {
+		for _, sg := range tb.D.Pipelines[name].Subgroups() {
+			for _, fn := range sg.NFs {
+				nf.SyncStateObs(fn)
+			}
+		}
+	}
+	nics := make([]string, 0, len(tb.D.NICs))
+	for name := range tb.D.NICs {
+		nics = append(nics, name)
+	}
+	sort.Strings(nics)
+	for _, name := range nics {
+		for _, pp := range tb.D.NICs[name].PathPrograms() {
+			for _, fn := range pp.NFs {
+				nf.SyncStateObs(fn)
+			}
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package runtime
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"lemur/internal/hw"
+	"lemur/internal/metacompiler"
+	"lemur/internal/nf"
+	"lemur/internal/obs"
+	"lemur/internal/placer"
+)
+
+// randomStatefulSpec builds a random linear chain biased toward the stateful
+// NFs with deliberately small table caps, so FlowScale traffic pushes every
+// table past capacity — eviction, rotation, and NAT exhaustion all fire —
+// instead of idling below the default caps.
+func randomStatefulSpec(rng *rand.Rand, idx int) string {
+	stateful := []func(i int) string{
+		func(i int) string { return fmt.Sprintf("NAT(entries=%d)", 16+rng.Intn(80)) },
+		func(i int) string { return fmt.Sprintf("Monitor(max_flows=%d)", 16+rng.Intn(120)) },
+		func(i int) string { return fmt.Sprintf("Dedup(chunk=16, cache=%d)", 8+rng.Intn(48)) },
+		func(i int) string {
+			return fmt.Sprintf("LB(n_backends=%d, affinity=%d)", 2+rng.Intn(4), 16+rng.Intn(100))
+		},
+	}
+	stateless := []string{"ACL", "Match", "Limiter", "Tunnel", "Detunnel", "UrlFilter"}
+	n := 2 + rng.Intn(3)
+	spec := fmt.Sprintf("chain fs%d {\n  slo { tmin = %dMbps  tmax = 100Gbps }\n  aggregate { src = 10.%d.0.0/16 }\n",
+		idx, 100+rng.Intn(1500), idx)
+	names := make([]string, 0, n+1)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("n%d", i)
+		// Two stateful draws for every stateless one.
+		if rng.Intn(3) < 2 {
+			spec += fmt.Sprintf("  %s = %s\n", name, stateful[rng.Intn(len(stateful))](i))
+		} else {
+			spec += fmt.Sprintf("  %s = %s()\n", name, stateless[rng.Intn(len(stateless))])
+		}
+		names = append(names, name)
+	}
+	spec += "  fwd = IPv4Fwd()\n"
+	names = append(names, "fwd")
+	spec += "  " + names[0]
+	for _, nm := range names[1:] {
+		spec += " -> " + nm
+	}
+	return spec + "\n}\n"
+}
+
+// compileWithImpl compiles a spec with the chosen NF table backend bound,
+// restoring the default before returning.
+func compileWithImpl(t *testing.T, src string, impl nf.TableImpl) *metacompiler.Deployment {
+	t.Helper()
+	old := nf.Impl
+	nf.Impl = impl
+	defer func() { nf.Impl = old }()
+	return compileRandom(t, src)
+}
+
+// TestShardedTablesMatchReference is the table-backend identity property:
+// the same random deployment compiled once over the sharded arena tables and
+// once over the retained map-backed references must produce byte-identical
+// SimResults AND metrics snapshots — across 50+ random stateful topologies ×
+// seeds, under both FlowScale traffic patterns (immortal flow populations
+// and per-second churn), with table caps small enough that FIFO eviction,
+// Dedup rotation, and NAT port exhaustion all run hot.
+func TestShardedTablesMatchReference(t *testing.T) {
+	reg := obs.Default()
+	reg.Enable()
+	t.Cleanup(func() {
+		reg.Disable()
+		reg.Reset()
+	})
+
+	rng := rand.New(rand.NewSource(606))
+	factors := []float64{0.8, 1.1, 1.6}
+	cases, skipped := 0, 0
+	for trial := 0; cases < 52 && trial < 130; trial++ {
+		nChains := 1 + rng.Intn(2)
+		src := ""
+		for c := 0; c < nChains; c++ {
+			src += randomStatefulSpec(rng, c)
+		}
+		dShard := compileWithImpl(t, src, nf.TableSharded)
+		if dShard == nil {
+			skipped++
+			continue
+		}
+		dRef := compileWithImpl(t, src, nf.TableReference)
+		cases++
+
+		offered := make([]float64, len(dShard.Result.ChainRates))
+		for i, r := range dShard.Result.ChainRates {
+			offered[i] = r * factors[(trial+i)%len(factors)]
+		}
+		cfg := SimConfig{Seed: int64(2000 + trial), DurationSec: 0.06}
+		// Alternate the two FlowScale traffic patterns: a pre-generated
+		// immortal population, and churn arriving at FlowScale flows/sec.
+		cfg.FlowScale = 200 + rng.Intn(1800)
+		cfg.FlowChurn = trial%2 == 1
+
+		shardStats, shardMetrics := runSim(t, dShard, offered, cfg, (*Testbed).Simulate)
+		refStats, refMetrics := runSim(t, dRef, offered, cfg, (*Testbed).Simulate)
+
+		if !bytes.Equal(shardStats, refStats) {
+			t.Fatalf("trial %d (scale %d churn %v): SimResult diverged\nsharded: %s\nref:     %s\nspec:\n%s",
+				trial, cfg.FlowScale, cfg.FlowChurn, shardStats, refStats, src)
+		}
+		if !bytes.Equal(shardMetrics, refMetrics) {
+			t.Fatalf("trial %d (scale %d churn %v): metrics diverged (sharded %d bytes, ref %d bytes)\nspec:\n%s",
+				trial, cfg.FlowScale, cfg.FlowChurn, len(shardMetrics), len(refMetrics), src)
+		}
+	}
+	if cases < 50 {
+		t.Fatalf("only %d feasible random cases (%d skipped); loosen the generator", cases, skipped)
+	}
+}
+
+// TestFlowScaleEnginesAgree extends the fast/reference engine identity to
+// FlowScale traffic: the batched arena engine and the one-packet-at-a-time
+// reference engine must stay byte-identical when chains draw from arena
+// flow schedules instead of the legacy 40-flow generator.
+func TestFlowScaleEnginesAgree(t *testing.T) {
+	reg := obs.Default()
+	reg.Enable()
+	t.Cleanup(func() {
+		reg.Disable()
+		reg.Reset()
+	})
+
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 6; trial++ {
+		src := randomStatefulSpec(rng, 0)
+		dRef := compileRandom(t, src)
+		if dRef == nil {
+			continue
+		}
+		dFast := compileRandom(t, src)
+		offered := make([]float64, len(dRef.Result.ChainRates))
+		for i, r := range dRef.Result.ChainRates {
+			offered[i] = r * 1.2
+		}
+		cfg := SimConfig{Seed: int64(50 + trial), DurationSec: 0.05,
+			FlowScale: 500, FlowChurn: trial%2 == 0}
+		refStats, refMetrics := runSim(t, dRef, offered, cfg, (*Testbed).simulateReference)
+		fastStats, fastMetrics := runSim(t, dFast, offered, cfg, (*Testbed).Simulate)
+		if !bytes.Equal(refStats, fastStats) {
+			t.Fatalf("trial %d: engines diverged under FlowScale\nref:  %s\nfast: %s\nspec:\n%s",
+				trial, refStats, fastStats, src)
+		}
+		if !bytes.Equal(refMetrics, fastMetrics) {
+			t.Fatalf("trial %d: engine metrics diverged under FlowScale\nspec:\n%s", trial, src)
+		}
+	}
+}
+
+const millionFlowSpec = `
+chain mf {
+  slo { tmin = 2Gbps  tmax = 100Gbps }
+  aggregate { src = 10.0.0.0/8 }
+  mon0 = Monitor()
+  nat0 = NAT(entries=45536)
+  lb0 = LB()
+  fwd0 = IPv4Fwd()
+  mon0 -> nat0 -> lb0 -> fwd0
+}`
+
+// TestMillionFlowAllocBudget is the million-flow allocation guard: a
+// stateful chain driven by a one-million-flow schedule must run at well
+// under 0.5 allocations per simulated packet. The schedule arenas, the NF
+// table arenas (grown to cap on the warm-up run, then recycled through
+// freelists), and the engine's packet pools make the steady state
+// allocation-free; this test pins that property so a regression anywhere in
+// the stack — per-packet tuple synthesis, map fallback, arena churn — fails
+// loudly.
+func TestMillionFlowAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-flow smoke is not -short")
+	}
+	_, res, tb := deploy(t, hw.NewPaperTestbed(), millionFlowSpec, placer.SchemeLemur)
+	offered := []float64{res.ChainRates[0] * 1.2}
+	cfg := SimConfig{Seed: 5, DurationSec: 0.5, FlowScale: 1_000_000}
+
+	var injected int
+	allocs := testing.AllocsPerRun(3, func() {
+		sim, err := tb.Simulate(offered, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		injected = sim.Injected[0]
+	})
+	if injected == 0 {
+		t.Fatal("no packets injected")
+	}
+	perPkt := allocs / float64(injected)
+	t.Logf("allocs/run %.0f, injected %d, allocs/pkt %.3f", allocs, injected, perPkt)
+	const budget = 0.5
+	if perPkt > budget {
+		t.Fatalf("allocation regression: %.3f allocs/packet exceeds the %.1f budget", perPkt, budget)
+	}
+}

@@ -15,7 +15,6 @@ import (
 	"lemur/internal/pisa"
 	"lemur/internal/placer"
 	"lemur/internal/profile"
-	"lemur/internal/trafficgen"
 )
 
 // The analytic Measure covers steady-state rates; Simulate is the
@@ -45,6 +44,19 @@ type SimConfig struct {
 	// QueueCap bounds each subgroup's input queue in packets (default 256).
 	QueueCap int
 	Seed     int64
+
+	// FlowScale, when positive, replaces each chain's default 40-flow
+	// incremental generator with an arena-backed pre-generated schedule of
+	// FlowScale concurrent flows (trafficgen.ScheduleInto), sized for
+	// million-flow state-table experiments. 0 keeps the legacy generator
+	// and is byte-identical to pre-FlowScale runs.
+	FlowScale int
+	// FlowChurn switches the FlowScale schedule from immortal flows to a
+	// churn model: flows live trafficgen's default lifetime (1 s) and
+	// arrive at FlowScale per second, holding the live population at
+	// FlowScale while every flow is new state for the NF tables. Requires
+	// FlowScale > 0.
+	FlowChurn bool
 
 	// Faults is an optional deterministic fault-injection schedule. Crashes
 	// drop the dead device's in-flight packets, blackhole traffic steered at
@@ -187,15 +199,10 @@ func (tb *Testbed) Simulate(offered []float64, cfg SimConfig) (*SimResult, error
 	rng := rand.New(rand.NewSource(cfg.Seed*17 + 3))
 	env := &nf.Env{Rand: rng}
 
-	// Traffic generators per chain.
-	gens := make([]*trafficgen.Generator, len(in.Chains))
+	// Traffic generators per chain (FlowScale-aware).
+	gens := make([]frameSource, len(in.Chains))
 	for ci, g := range in.Chains {
-		agg := g.Chain.Aggregate
-		gen, err := trafficgen.New(trafficgen.Config{
-			Mode: trafficgen.LongLived, Seed: cfg.Seed + int64(ci),
-			SrcCIDR: agg.SrcCIDR, DstCIDR: agg.DstCIDR,
-			Proto: agg.Proto, DstPort: agg.DstPort,
-		})
+		gen, err := newChainGen(g.Chain.Aggregate, ci, &cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -719,12 +726,7 @@ func (tb *Testbed) Simulate(offered []float64, cfg SimConfig) (*SimResult, error
 				acc = append(acc, 0)
 				expect := int(rate/frameBits/cfg.Scale*(cfg.DurationSec-now)) + 16
 				delaySamples = append(delaySamples, make([]float64, 0, expect))
-				agg := newIn.Chains[nOld].Chain.Aggregate
-				gen, gerr := trafficgen.New(trafficgen.Config{
-					Mode: trafficgen.LongLived, Seed: cfg.Seed + int64(nOld),
-					SrcCIDR: agg.SrcCIDR, DstCIDR: agg.DstCIDR,
-					Proto: agg.Proto, DstPort: agg.DstPort,
-				})
+				gen, gerr := newChainGen(newIn.Chains[nOld].Chain.Aggregate, nOld, &cfg)
 				if gerr != nil {
 					return gerr
 				}
@@ -856,6 +858,7 @@ func (tb *Testbed) Simulate(offered []float64, cfg SimConfig) (*SimResult, error
 	if cc != nil {
 		cc.finalize(res, tb, &cfg, frameBits, offered)
 	}
+	tb.syncStateGauges()
 	res.P99QueueDelaySec = make([]float64, len(offered))
 	for ci := range offered {
 		if res.Injected[ci] > 0 {

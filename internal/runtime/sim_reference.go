@@ -12,7 +12,6 @@ import (
 	"lemur/internal/obs"
 	"lemur/internal/pisa"
 	"lemur/internal/profile"
-	"lemur/internal/trafficgen"
 )
 
 // simulateReference is the retained reference implementation of Simulate:
@@ -30,15 +29,11 @@ func (tb *Testbed) simulateReference(offered []float64, cfg SimConfig) (*SimResu
 	rng := rand.New(rand.NewSource(cfg.Seed*17 + 3))
 	env := &nf.Env{Rand: rng}
 
-	// Traffic generators per chain.
-	gens := make([]*trafficgen.Generator, len(in.Chains))
+	// Traffic generators per chain (FlowScale-aware, same construction as
+	// the fast engine).
+	gens := make([]frameSource, len(in.Chains))
 	for ci, g := range in.Chains {
-		agg := g.Chain.Aggregate
-		gen, err := trafficgen.New(trafficgen.Config{
-			Mode: trafficgen.LongLived, Seed: cfg.Seed + int64(ci),
-			SrcCIDR: agg.SrcCIDR, DstCIDR: agg.DstCIDR,
-			Proto: agg.Proto, DstPort: agg.DstPort,
-		})
+		gen, err := newChainGen(g.Chain.Aggregate, ci, &cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -301,6 +296,7 @@ func (tb *Testbed) simulateReference(offered []float64, cfg SimConfig) (*SimResu
 		}
 	}
 
+	tb.syncStateGauges()
 	res.P99QueueDelaySec = make([]float64, len(offered))
 	for ci := range offered {
 		if res.Injected[ci] > 0 {

@@ -3,6 +3,7 @@ package smartnic
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"lemur/internal/hw"
 	"lemur/internal/nf"
@@ -73,6 +74,22 @@ func (n *NIC) Unload(spi uint32, si uint8) bool {
 
 // ProgramCount returns the number of loaded path programs.
 func (n *NIC) ProgramCount() int { return len(n.entries) }
+
+// PathPrograms returns the loaded programs in (SPI, SI) order — a
+// deterministic walk for callers that inspect or sync per-NF state (the
+// simulator's end-of-run state-gauge sync).
+func (n *NIC) PathPrograms() []*PathProgram {
+	keys := make([]uint64, 0, len(n.entries))
+	for k := range n.entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	pps := make([]*PathProgram, len(keys))
+	for i, k := range keys {
+		pps[i] = n.entries[k]
+	}
+	return pps
+}
 
 // UnloadSPIRange removes every program whose SPI lies in [lo, hi] and
 // returns how many were unloaded — the failover rewire primitive for

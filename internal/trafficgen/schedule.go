@@ -1,0 +1,202 @@
+package trafficgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"lemur/internal/packet"
+)
+
+// Arena flow schedules. The incremental Generator synthesizes flows as the
+// simulation advances, which is fine at footnote-6 populations (tens of
+// flows, 10k/s churn) but not at the million-flow scale experiments: the
+// runtime wants the whole flow population materialized up front, in flat
+// arrays the GC never walks per-flow, with packet emission reduced to an
+// index draw. A Schedule is exactly that — every flow the aggregate will
+// ever contain, with birth times, pre-generated deterministically from the
+// config seed into reusable arenas.
+//
+// Lifetimes are constant (Config.LifeSec), so flows expire in birth order
+// and the live population is always a contiguous [head, tail) window over
+// the arrays. Advancing the window is O(1) amortized per packet — no
+// retirement scan, no per-packet tuple allocation.
+
+// Schedule holds one aggregate's pre-generated flow population in flat
+// arenas: parallel arrays of five-tuples, their precomputed hashes, and
+// birth times (seconds, nondecreasing). LifeSec is the constant flow
+// lifetime; 0 means flows never expire (LongLived).
+type Schedule struct {
+	Tuples  []packet.FiveTuple
+	Hashes  []uint64
+	BornSec []float64
+	LifeSec float64
+}
+
+// FlowsAt returns the indices [head, tail) of flows live at nowSec: born no
+// later than nowSec and not yet expired. O(log n); the replay generator
+// tracks the same window incrementally.
+func (s *Schedule) FlowsAt(nowSec float64) (head, tail int) {
+	tail = sort.Search(len(s.BornSec), func(i int) bool { return s.BornSec[i] > nowSec })
+	if s.LifeSec <= 0 {
+		return 0, tail
+	}
+	// Expiry predicate is born+life <= now everywhere (here, the replay
+	// window, and the tests' brute-force scans) — mixing algebraically
+	// equivalent forms like born <= now-life is not float-safe.
+	head = sort.Search(tail, func(i int) bool { return s.BornSec[i]+s.LifeSec > nowSec })
+	return head, tail
+}
+
+// ScheduleInto pre-generates the flow schedule for cfg covering simulated
+// time [0, horizonSec] into dst's arenas (reused when capacity suffices; a
+// nil dst allocates a fresh Schedule) and returns it. The synthesis is
+// deterministic under cfg.Seed and independent of horizon-irrelevant state:
+// regenerating with the same config and horizon yields byte-identical
+// arenas.
+//
+// LongLived configs produce cfg.Flows immortal flows born at 0 — the same
+// tuples, in the same order, as New(cfg) pre-draws. ShortLived configs
+// produce arrivals at cfg.NewFlowsSec starting one lifetime before 0, so
+// the live window already holds the steady-state population
+// (NewFlowsSec × LifeSec flows) when the simulation starts.
+func ScheduleInto(dst *Schedule, cfg Config, horizonSec float64) (*Schedule, error) {
+	cfg = cfg.withDefaults()
+	sp, err := parseSpace(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if dst == nil {
+		dst = &Schedule{}
+	}
+	dst.Tuples = dst.Tuples[:0]
+	dst.Hashes = dst.Hashes[:0]
+	dst.BornSec = dst.BornSec[:0]
+
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	var redund [64]byte
+	rng.Read(redund[:]) // mirror the generator's redundant-chunk draw
+
+	push := func(born float64) {
+		tu := synthTuple(rng, sp, &cfg)
+		dst.Tuples = append(dst.Tuples, tu)
+		dst.Hashes = append(dst.Hashes, tu.Hash())
+		dst.BornSec = append(dst.BornSec, born)
+	}
+	switch cfg.Mode {
+	case LongLived:
+		dst.LifeSec = 0
+		if cap(dst.Tuples) < cfg.Flows {
+			dst.Tuples = make([]packet.FiveTuple, 0, cfg.Flows)
+			dst.Hashes = make([]uint64, 0, cfg.Flows)
+			dst.BornSec = make([]float64, 0, cfg.Flows)
+		}
+		for i := 0; i < cfg.Flows; i++ {
+			push(0)
+		}
+	case ShortLived:
+		dst.LifeSec = cfg.LifeSec
+		ia := 1 / float64(cfg.NewFlowsSec)
+		want := int((horizonSec+cfg.LifeSec)/ia) + 2
+		if cap(dst.Tuples) < want {
+			dst.Tuples = make([]packet.FiveTuple, 0, want)
+			dst.Hashes = make([]uint64, 0, want)
+			dst.BornSec = make([]float64, 0, want)
+		}
+		// Births step by the interarrival from one lifetime before t=0.
+		// Indexed arithmetic (not repeated adds) keeps the times exact and
+		// regeneration byte-identical.
+		for i := 0; ; i++ {
+			born := -cfg.LifeSec + float64(i)*ia
+			if born > horizonSec {
+				break
+			}
+			push(born)
+		}
+	default:
+		return nil, fmt.Errorf("trafficgen: unknown mode %d", cfg.Mode)
+	}
+	return dst, nil
+}
+
+// ScheduleGen replays a Schedule as a packet source, mirroring Generator's
+// API: each packet picks a uniformly random live flow and fills the same
+// frame layout through the same payload machinery. The live-flow window
+// advances incrementally — O(1) amortized per packet, no retirement scan —
+// and retirement order equals birth order by construction.
+type ScheduleGen struct {
+	g          *Generator
+	s          *Schedule
+	head, tail int
+}
+
+// NewScheduled builds a replay generator over s. The cfg must be the one
+// the schedule was generated from (payload shape, frame size and seed come
+// from it). The live window is positioned at t=0.
+func NewScheduled(cfg Config, s *Schedule) (*ScheduleGen, error) {
+	g, err := newBase(cfg.withDefaults())
+	if err != nil {
+		return nil, err
+	}
+	sg := &ScheduleGen{g: g, s: s}
+	sg.advance(0)
+	return sg, nil
+}
+
+// advance slides the live window forward to nowSec. Time never goes
+// backwards in a simulation run, so head and tail only grow.
+func (sg *ScheduleGen) advance(nowSec float64) {
+	s := sg.s
+	for sg.tail < len(s.BornSec) && s.BornSec[sg.tail] <= nowSec {
+		sg.tail++
+	}
+	if s.LifeSec <= 0 {
+		return
+	}
+	for sg.head < sg.tail && s.BornSec[sg.head]+s.LifeSec <= nowSec {
+		sg.head++
+	}
+}
+
+// pick selects the flow for the next packet: uniform over the live window,
+// falling back to the most recently born flow if the window is empty (time
+// past the schedule horizon, or before the first birth).
+func (sg *ScheduleGen) pick(nowSec float64) packet.FiveTuple {
+	sg.advance(nowSec)
+	live := sg.tail - sg.head
+	if live <= 0 {
+		if sg.tail == 0 {
+			return sg.s.Tuples[0]
+		}
+		return sg.s.Tuples[sg.tail-1]
+	}
+	return sg.s.Tuples[sg.head+sg.g.rng.Intn(live)]
+}
+
+// Next produces the next packet at simulated time nowSec, owning a fresh
+// buffer.
+func (sg *ScheduleGen) Next(nowSec float64) *packet.Packet {
+	frame := sg.NextInto(nil, nowSec)
+	p := &packet.Packet{}
+	if err := p.Decode(frame); err != nil {
+		panic("trafficgen: generated undecodable frame: " + err.Error())
+	}
+	return p
+}
+
+// NextInto produces the next frame at simulated time nowSec into buf,
+// with the same reuse and NSH-headroom contract as Generator.NextInto.
+func (sg *ScheduleGen) NextInto(buf []byte, nowSec float64) []byte {
+	return sg.g.emitInto(buf, sg.pick(nowSec))
+}
+
+// FlowCount returns the live-flow population as of the last emission.
+func (sg *ScheduleGen) FlowCount() int {
+	if n := sg.tail - sg.head; n > 0 {
+		return n
+	}
+	return 0
+}
+
+// Emitted returns how many packets have been generated.
+func (sg *ScheduleGen) Emitted() uint64 { return sg.g.seq }

@@ -2,6 +2,11 @@
 // produced: per-chain traffic aggregates with either long-lived flows (30-50
 // uniform flows) or short-lived churn (10,000 new flows/sec, 1 s lifetime),
 // the two mixes footnote 6 uses to exercise worst-case NF behaviour.
+//
+// Two packet sources share one emission engine: the incremental Generator
+// (flows synthesized as simulated time advances) and the arena-backed
+// ScheduleGen (schedule.go — the whole flow population pre-generated, for
+// million-flow runs).
 package trafficgen
 
 import (
@@ -42,27 +47,14 @@ type Config struct {
 	FrameBytes  int     // default DefaultFrameBytes
 	Flows       int     // LongLived: flow count (default 40)
 	NewFlowsSec int     // ShortLived: flow arrival rate (default 10000)
+	LifeSec     float64 // ShortLived: flow lifetime in seconds (default 1)
 	Redundancy  float64 // fraction of payload chunks repeated (Dedup); 0 = random
 	HTTPShare   float64 // fraction of packets carrying an HTTP head (UrlFilter)
 	Seed        int64
 }
 
-// Generator produces packets for one aggregate.
-type Generator struct {
-	cfg     Config
-	rng     *rand.Rand
-	flows   []packet.FiveTuple
-	born    []float64 // ShortLived: flow birth time
-	srcBase uint32
-	srcMask uint32
-	dstBase uint32
-	dstMask uint32
-	seq     uint64
-	redund  []byte // shared redundant chunk
-}
-
-// New builds a generator, applying defaults.
-func New(cfg Config) (*Generator, error) {
+// withDefaults returns cfg with the package defaults applied.
+func (cfg Config) withDefaults() Config {
 	if cfg.SrcCIDR == "" {
 		cfg.SrcCIDR = "10.0.0.0/8"
 	}
@@ -81,25 +73,91 @@ func New(cfg Config) (*Generator, error) {
 	if cfg.NewFlowsSec == 0 {
 		cfg.NewFlowsSec = 10000
 	}
-	g := &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed + 1))}
+	if cfg.LifeSec <= 0 {
+		cfg.LifeSec = 1.0
+	}
+	return cfg
+}
+
+// addrSpace is the parsed CIDR pair tuples are drawn from.
+type addrSpace struct {
+	srcBase uint32
+	srcMask uint32
+	dstBase uint32
+	dstMask uint32
+}
+
+func parseSpace(cfg Config) (addrSpace, error) {
+	var sp addrSpace
 	var bits int
 	var err error
-	g.srcBase, bits, err = bpf.ParseCIDR(cfg.SrcCIDR)
+	sp.srcBase, bits, err = bpf.ParseCIDR(cfg.SrcCIDR)
 	if err != nil {
-		return nil, fmt.Errorf("trafficgen: src: %w", err)
+		return sp, fmt.Errorf("trafficgen: src: %w", err)
 	}
-	g.srcMask = bpf.MaskBits(bits)
-	g.dstBase, bits, err = bpf.ParseCIDR(cfg.DstCIDR)
+	sp.srcMask = bpf.MaskBits(bits)
+	sp.dstBase, bits, err = bpf.ParseCIDR(cfg.DstCIDR)
 	if err != nil {
-		return nil, fmt.Errorf("trafficgen: dst: %w", err)
+		return sp, fmt.Errorf("trafficgen: dst: %w", err)
 	}
-	g.dstMask = bpf.MaskBits(bits)
+	sp.dstMask = bpf.MaskBits(bits)
+	return sp, nil
+}
 
+// synthTuple draws one flow five-tuple. The rng draw order (src, dst,
+// optional dst port, src port) is shared by the incremental generator and
+// the schedule pre-generator, so both synthesize identical flow sequences
+// from the same seed.
+func synthTuple(rng *rand.Rand, sp addrSpace, cfg *Config) packet.FiveTuple {
+	src := sp.srcBase&sp.srcMask | rng.Uint32()&^sp.srcMask
+	dst := sp.dstBase&sp.dstMask | rng.Uint32()&^sp.dstMask
+	dport := cfg.DstPort
+	if dport == 0 {
+		dport = uint16(1024 + rng.Intn(60000))
+	}
+	return packet.FiveTuple{
+		Src:     packet.AddrFromUint32(src),
+		Dst:     packet.AddrFromUint32(dst),
+		SrcPort: uint16(1024 + rng.Intn(60000)),
+		DstPort: dport,
+		Proto:   cfg.Proto,
+	}
+}
+
+// Generator produces packets for one aggregate, synthesizing flows
+// incrementally as simulated time advances.
+type Generator struct {
+	cfg    Config
+	rng    *rand.Rand
+	sp     addrSpace
+	flows  []packet.FiveTuple
+	born   []float64 // ShortLived: flow birth time
+	head   int       // ShortLived: index of the oldest live flow
+	seq    uint64
+	redund []byte // shared redundant chunk
+}
+
+// newBase builds the emission engine without pre-drawing any flows; cfg
+// must already have defaults applied.
+func newBase(cfg Config) (*Generator, error) {
+	g := &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed + 1))}
+	var err error
+	if g.sp, err = parseSpace(cfg); err != nil {
+		return nil, err
+	}
 	g.redund = make([]byte, 64)
 	g.rng.Read(g.redund)
+	return g, nil
+}
 
-	if cfg.Mode == LongLived {
-		n := cfg.Flows
+// New builds a generator, applying defaults.
+func New(cfg Config) (*Generator, error) {
+	g, err := newBase(cfg.withDefaults())
+	if err != nil {
+		return nil, err
+	}
+	if g.cfg.Mode == LongLived {
+		n := g.cfg.Flows
 		for i := 0; i < n; i++ {
 			g.flows = append(g.flows, g.newTuple())
 		}
@@ -108,19 +166,7 @@ func New(cfg Config) (*Generator, error) {
 }
 
 func (g *Generator) newTuple() packet.FiveTuple {
-	src := g.srcBase&g.srcMask | g.rng.Uint32()&^g.srcMask
-	dst := g.dstBase&g.dstMask | g.rng.Uint32()&^g.dstMask
-	dport := g.cfg.DstPort
-	if dport == 0 {
-		dport = uint16(1024 + g.rng.Intn(60000))
-	}
-	return packet.FiveTuple{
-		Src:     packet.AddrFromUint32(src),
-		Dst:     packet.AddrFromUint32(dst),
-		SrcPort: uint16(1024 + g.rng.Intn(60000)),
-		DstPort: dport,
-		Proto:   g.cfg.Proto,
-	}
+	return synthTuple(g.rng, g.sp, &g.cfg)
 }
 
 // Next produces the next packet at simulated time nowSec. The returned
@@ -141,7 +187,12 @@ func (g *Generator) Next(nowSec float64) *packet.Packet {
 // Freshly allocated buffers reserve packet.NSHLen spare capacity so an NSH
 // encap later in the pipeline can grow the frame in place.
 func (g *Generator) NextInto(buf []byte, nowSec float64) []byte {
-	tu := g.nextTuple(nowSec)
+	return g.emitInto(buf, g.nextTuple(nowSec))
+}
+
+// emitInto serializes one frame for tu into buf — the emission engine both
+// packet sources share.
+func (g *Generator) emitInto(buf []byte, tu packet.FiveTuple) []byte {
 	g.seq++
 
 	payLen := g.cfg.FrameBytes - packet.EthernetLen - packet.NSHLen - packet.IPv4Len - packet.UDPLen
@@ -177,24 +228,31 @@ func (g *Generator) NextInto(buf []byte, nowSec float64) []byte {
 // ShortLived mode.
 func (g *Generator) nextTuple(nowSec float64) packet.FiveTuple {
 	if g.cfg.Mode == ShortLived {
-		// Retire expired flows (~1 s lifetime) and admit new ones at the
-		// configured arrival rate; steady-state population ≈ NewFlowsSec.
-		live := g.flows[:0]
-		liveBorn := g.born[:0]
-		for i, f := range g.flows {
-			if nowSec-g.born[i] < 1.0 {
-				live = append(live, f)
-				liveBorn = append(liveBorn, g.born[i])
-			}
+		// Retire expired flows and admit new ones at the configured arrival
+		// rate; steady-state population ≈ NewFlowsSec × LifeSec. Lifetimes
+		// are constant, so flows expire in birth order: retirement pops a
+		// prefix off the live window instead of rescanning the whole pool
+		// (the pre-fix code rebuilt flows/born on every packet — O(n) per
+		// emission, which is what capped FlowCount at a few thousand).
+		for g.head < len(g.flows) && nowSec-g.born[g.head] >= g.cfg.LifeSec {
+			g.head++
 		}
-		g.flows, g.born = live, liveBorn
-		target := int(float64(g.cfg.NewFlowsSec) * 1.0) // steady-state pool
-		if len(g.flows) < target {
+		if g.head > 1024 && g.head*2 > len(g.flows) {
+			// Compact the expired prefix so the arrays don't grow without
+			// bound over a long run.
+			n := copy(g.flows, g.flows[g.head:])
+			g.flows = g.flows[:n]
+			g.born = append(g.born[:0], g.born[g.head:]...)
+			g.head = 0
+		}
+		target := int(float64(g.cfg.NewFlowsSec) * g.cfg.LifeSec) // steady-state pool
+		if len(g.flows)-g.head < target {
 			g.flows = append(g.flows, g.newTuple())
 			g.born = append(g.born, nowSec)
 		}
 	}
-	return g.flows[g.rng.Intn(len(g.flows))]
+	live := g.flows[g.head:]
+	return live[g.rng.Intn(len(live))]
 }
 
 func (g *Generator) fillPayload(p []byte) {
@@ -246,7 +304,7 @@ func fillRandom(p []byte, seed uint64) {
 }
 
 // FlowCount returns the current live-flow population.
-func (g *Generator) FlowCount() int { return len(g.flows) }
+func (g *Generator) FlowCount() int { return len(g.flows) - g.head }
 
 // Emitted returns how many packets have been generated.
 func (g *Generator) Emitted() uint64 { return g.seq }

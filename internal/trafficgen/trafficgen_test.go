@@ -47,13 +47,15 @@ func TestShortLivedChurn(t *testing.T) {
 	if got := g.FlowCount(); got < 50 || got > 110 {
 		t.Errorf("steady-state pool = %d, want around 100", got)
 	}
-	early := g.flows[0]
 	for i := 0; i < 2000; i++ {
 		g.Next(2 + float64(i)*0.001)
 	}
-	for _, f := range g.flows {
-		if f == early && g.born[0] < 1 {
-			t.Error("flow older than 1s not expired")
+	// Every live flow (the [head:] window) must be younger than LifeSec at
+	// the last emission time.
+	last := 2 + 1999*0.001
+	for i := g.head; i < len(g.flows); i++ {
+		if last-g.born[i] >= 1.0+0.001 {
+			t.Errorf("flow %d born %.3f still live at %.3f", i, g.born[i], last)
 		}
 	}
 }
