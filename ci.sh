@@ -94,6 +94,20 @@ go test -run 'TestSimulateAllocBudget' -count=1 ./internal/runtime
 echo "==> million-flow allocation guard"
 go test -run 'TestMillionFlowAllocBudget' -count=1 ./internal/runtime
 
+# Parallel-simulation guards: the sharded engine must stay byte-identical
+# to the serial engine under the race detector at worker counts up to 8 —
+# across random topologies, mid-run failover, and churn re-partitions —
+# and the CLI-facing worker/flow validation must keep rejecting bad input.
+# Then the parallel path holds its own allocs-per-packet budget (< 0.5,
+# measured at workers=4 on a multi-shard deployment).
+echo "==> parallel simulation byte-identity (race, workers up to 8)"
+go test -race -count=1 \
+  -run 'TestSimulateParallel(MatchesReference|FailoverByteIdentity|ChurnByteIdentity)|TestSimulateWorkersValidation|TestBuildSimPartitionInvariants' \
+  ./internal/runtime
+
+echo "==> parallel simulation allocation guard"
+go test -run 'TestSimulateParallelAllocBudget' -count=1 ./internal/runtime
+
 # Benchmark smoke: one iteration of the placement and simulator
 # micro-benchmarks proves the bench harness (and the -bench-out path it
 # shares) still compiles and runs.

@@ -17,6 +17,28 @@ import (
 	"lemur/internal/runtime"
 )
 
+// runMeta records the execution environment in every JSON artifact, so a
+// committed curve can be read against the hardware that produced it —
+// wall-clock throughput from a 1-CPU container and a 32-core box are not
+// comparable numbers.
+type runMeta struct {
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
+	// SimWorkers is the -sim-workers shard count threaded into each
+	// simulation run; Parallel is the -parallel experiment-cell bound.
+	SimWorkers int `json:"sim_workers"`
+	Parallel   int `json:"parallel"`
+}
+
+func newRunMeta(parallel, simWorkers int) runMeta {
+	return runMeta{
+		GOMAXPROCS: runtimepkg.GOMAXPROCS(0),
+		NumCPU:     runtimepkg.NumCPU(),
+		SimWorkers: simWorkers,
+		Parallel:   parallel,
+	}
+}
+
 // benchEntry is one (scheme, δ) placement timing on the four-chain set.
 type benchEntry struct {
 	Scheme   string  `json:"scheme"`
@@ -39,6 +61,7 @@ type simBenchEntry struct {
 // benchReport is the -bench-out JSON document.
 type benchReport struct {
 	Parallel     int             `json:"parallel"`
+	Meta         runMeta         `json:"meta"`
 	Entries      []benchEntry    `json:"entries"`
 	Sim          []simBenchEntry `json:"sim"`
 	TotalNs      int64           `json:"total_ns"`
@@ -50,7 +73,7 @@ type benchReport struct {
 // runBenchOut sweeps placement-only timings (no testbed measurement) for
 // every scheme over the four-chain combination at the low-δ grid, and writes
 // per-cell ns/op plus the shared PISA compile-cache statistics.
-func runBenchOut(path string, parallel int) {
+func runBenchOut(path string, parallel, simWorkers int) {
 	const iters = 3
 	combo := []int{1, 2, 3, 4}
 	deltas := []float64{0.5, 1.0, 1.5, 2.0}
@@ -60,7 +83,7 @@ func runBenchOut(path string, parallel int) {
 	r.Parallel = parallel
 
 	pisa.SharedCache().Reset()
-	report := benchReport{Parallel: parallel}
+	report := benchReport{Parallel: parallel, Meta: newRunMeta(parallel, simWorkers)}
 	start := time.Now()
 	for _, scheme := range placer.Schemes() {
 		for _, d := range deltas {
@@ -85,7 +108,7 @@ func runBenchOut(path string, parallel int) {
 			})
 		}
 	}
-	report.Sim = simBenchEntries()
+	report.Sim = simBenchEntries(simWorkers)
 	report.TotalNs = time.Since(start).Nanoseconds()
 	st := pisa.SharedCache().Stats()
 	report.CacheHits = st.Hits
@@ -106,7 +129,7 @@ func runBenchOut(path string, parallel int) {
 // simBenchEntries measures the dataplane simulator's packet throughput and
 // allocation rate at each load factor: chains {1,2,3} at δ=0.5, each point
 // simulated on a freshly compiled deployment (a run mutates NF state).
-func simBenchEntries() []simBenchEntry {
+func simBenchEntries(simWorkers int) []simBenchEntry {
 	chains := []int{1, 2, 3}
 	topo := hw.NewPaperTestbed()
 	bases, err := experiments.BaseRates(chains, topo, profile.DefaultDB())
@@ -144,7 +167,7 @@ func simBenchEntries() []simBenchEntry {
 		var before, after runtimepkg.MemStats
 		runtimepkg.ReadMemStats(&before)
 		t0 := time.Now()
-		sim, err := tb.Simulate(offered, runtime.SimConfig{Seed: 7, DurationSec: 0.5})
+		sim, err := tb.Simulate(offered, runtime.SimConfig{Seed: 7, DurationSec: 0.5, Workers: simWorkers})
 		elapsed := time.Since(t0)
 		runtimepkg.ReadMemStats(&after)
 		if err != nil {
@@ -174,11 +197,11 @@ func simBenchEntries() []simBenchEntry {
 // runSimSweep is the -sim command: a parallel load-factor sweep over chains
 // {1,2,3} using the batched simulator, reduced deterministically by point
 // index (the table is identical at any -parallel value).
-func runSimSweep(parallel int) {
+func runSimSweep(parallel, simWorkers int) {
 	r := experiments.NewRunner(hw.NewPaperTestbed())
 	r.Parallel = parallel
 	points := experiments.DefaultSimPoints(1)
-	cells, err := r.SimSweep([]int{1, 2, 3}, 0.5, points, runtime.SimConfig{DurationSec: 0.5})
+	cells, err := r.SimSweep([]int{1, 2, 3}, 0.5, points, runtime.SimConfig{DurationSec: 0.5, Workers: simWorkers})
 	if err != nil {
 		fatal(err)
 	}
@@ -260,7 +283,7 @@ func runChurnBench(parallel int) {
 // crashes k servers mid-run and reports downtime, fault drops, and how many
 // chains still meet their SLO after the incremental re-placement. The sweep
 // runs cells in parallel and is byte-identical at any -parallel value.
-func runFailover(parallel int) {
+func runFailover(parallel, simWorkers int) {
 	topo := hw.NewPaperTestbed(hw.WithServers(3))
 	var servers []string
 	for _, s := range topo.Servers {
@@ -271,7 +294,7 @@ func runFailover(parallel int) {
 	points := experiments.DefaultFailoverPoints(servers, 1)
 	// Scale 50 keeps per-step cycle budgets above every chain's per-packet
 	// cost so low-rate expensive chains make progress in the simulator.
-	cells, err := r.FailoverSweep([]int{1, 2, 3}, 0.5, points, runtime.SimConfig{DurationSec: 0.25, Scale: 50})
+	cells, err := r.FailoverSweep([]int{1, 2, 3}, 0.5, points, runtime.SimConfig{DurationSec: 0.25, Scale: 50, Workers: simWorkers})
 	if err != nil {
 		fatal(err)
 	}

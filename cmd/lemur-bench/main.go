@@ -48,8 +48,22 @@ func main() {
 		scaleOut    = flag.String("scale-out", "", "with -scale: also write the curve (wall-clock throughput included) to this JSON path")
 		failover    = flag.Bool("failover", false, "SLO compliance under k server failures (parallel fault-injection sweep)")
 		churnBench  = flag.Bool("churn", false, "admission-capacity sweep: chains admitted incrementally until first refusal (parallel)")
+		simWorkers  = flag.Int("sim-workers", 1, "worker shards per simulation run for -sim/-scale/-failover (results are byte-identical at any value)")
+		cores       = flag.Bool("cores", false, "cores-vs-throughput curve: the flow-scaled point rerun at 1/2/4/8 worker shards, sequentially")
+		coresOut    = flag.String("cores-out", "", "with -cores: also write the curve to this JSON path (BENCH_5.json)")
+		coresFlows  = flag.Int("cores-flows", 1_000_000, "with -cores: concurrent-flow population for the measured point")
+		coresPkts   = flag.Int("cores-pkts", 10_000_000, "with -cores: target packet count for the measured point")
 	)
 	flag.Parse()
+	if *simWorkers < 1 {
+		fatal(fmt.Errorf("-sim-workers must be a positive worker count, got %d", *simWorkers))
+	}
+	if *cores && *coresFlows <= 0 {
+		fatal(fmt.Errorf("-cores-flows must be a positive flow count, got %d", *coresFlows))
+	}
+	if *cores && *coresPkts <= 0 {
+		fatal(fmt.Errorf("-cores-pkts must be a positive packet count, got %d", *coresPkts))
+	}
 	if *metrics != "" {
 		obs.Enable()
 		metricsPath = *metrics
@@ -66,13 +80,15 @@ func main() {
 
 	switch {
 	case *benchOut != "":
-		runBenchOut(*benchOut, *parallel)
+		runBenchOut(*benchOut, *parallel, *simWorkers)
 	case *sim:
-		runSimSweep(*parallel)
+		runSimSweep(*parallel, *simWorkers)
 	case *scale:
-		runScale(*parallel, *scaleOut)
+		runScale(*parallel, *simWorkers, *scaleOut)
+	case *cores:
+		runCores(*coresFlows, *coresPkts, *coresOut)
 	case *failover:
-		runFailover(*parallel)
+		runFailover(*parallel, *simWorkers)
 	case *churnBench:
 		runChurnBench(*parallel)
 	case *figure != "":

@@ -30,6 +30,7 @@ type scalePointOut struct {
 // scaleReport is the -scale-out JSON document (BENCH_4.json).
 type scaleReport struct {
 	Benchmark    string          `json:"benchmark"`
+	Meta         runMeta         `json:"meta"`
 	Config       map[string]any  `json:"config"`
 	Points       []scalePointOut `json:"points"`
 	AllocsPerPkt float64         `json:"allocs_per_pkt,omitempty"`
@@ -44,14 +45,14 @@ type scaleReport struct {
 // Stdout is deterministic and byte-identical at any -parallel value;
 // wall-clock throughput goes to the -scale-out JSON (meaningful when the
 // cells run serially: -parallel 1).
-func runScale(parallel int, outPath string) {
+func runScale(parallel, simWorkers int, outPath string) {
 	r := experiments.NewRunner(hw.NewPaperTestbed())
 	r.Parallel = parallel
 	points := experiments.DefaultScalePoints(11)
 
 	var before, after runtimepkg.MemStats
 	runtimepkg.ReadMemStats(&before)
-	cells, err := r.ScaleSweep([]int{1, 2, 3, 4}, 0.5, points, runtime.SimConfig{})
+	cells, err := r.ScaleSweep([]int{1, 2, 3, 4}, 0.5, points, runtime.SimConfig{Workers: simWorkers})
 	runtimepkg.ReadMemStats(&after)
 	if err != nil {
 		fatal(err)
@@ -80,6 +81,7 @@ func runScale(parallel int, outPath string) {
 	}
 	report := scaleReport{
 		Benchmark: "lemur-bench -scale -scale-out (flow-scale throughput curve)",
+		Meta:      newRunMeta(parallel, simWorkers),
 		Config: map[string]any{
 			"chains":    []int{1, 2, 3, 4},
 			"delta":     0.5,

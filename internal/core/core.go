@@ -32,6 +32,10 @@ type System struct {
 	// placer's spare-core pour so later admissions have budget
 	// (placer.Input.HeadroomCores). 0 = the paper's offline placement.
 	Headroom int
+	// SimWorkers is the worker-shard count threaded into every simulation
+	// run (runtime.SimConfig.Workers). Results are byte-identical at any
+	// value; 0 or 1 keeps runs serial.
+	SimWorkers int
 
 	chains []*nfspec.Chain
 	graphs []*nfgraph.Graph
@@ -83,8 +87,8 @@ func (s *System) LoadSpec(src string) error {
 // excluded chains incrementally (placer.Admit keys pinned state by pointer).
 func (s *System) Subset(keep func(name string) bool) *System {
 	d := NewSystem(s.Topo)
-	d.DB, d.Restrict, d.Scheme, d.Seed, d.Parallel, d.Headroom =
-		s.DB, s.Restrict, s.Scheme, s.Seed, s.Parallel, s.Headroom
+	d.DB, d.Restrict, d.Scheme, d.Seed, d.Parallel, d.Headroom, d.SimWorkers =
+		s.DB, s.Restrict, s.Scheme, s.Seed, s.Parallel, s.Headroom, s.SimWorkers
 	for i, c := range s.chains {
 		if keep(c.Name) {
 			d.chains = append(d.chains, c)

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"lemur/internal/hw"
+	"lemur/internal/runtime"
+)
+
+// TestCoresSweepDeterministicAcrossWorkers: the cores sweep's built-in
+// byte-identity assertion must hold on a real chain set — every worker
+// count produces the serial SimResult — and the derived per-cell fields
+// must be sane (packets injected, serial speedup pinned at 1).
+func TestCoresSweepDeterministicAcrossWorkers(t *testing.T) {
+	r := NewRunner(hw.NewPaperTestbed(hw.WithServers(4)))
+	cells, err := r.CoresSweep([]int{2, 3}, 0.5, 10_000, 30_000, []int{1, 2, 4}, runtime.SimConfig{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("want 3 cells, got %d", len(cells))
+	}
+	if cells[0].Speedup != 1 {
+		t.Fatalf("serial cell speedup = %v, want 1", cells[0].Speedup)
+	}
+	for i, c := range cells {
+		if c.Packets == 0 {
+			t.Fatalf("cell %d (workers=%d) injected no packets", i, c.Workers)
+		}
+		if c.Sim == nil || c.WallNs <= 0 {
+			t.Fatalf("cell %d (workers=%d) missing result or wall time", i, c.Workers)
+		}
+	}
+}
+
+// TestCoresSweepValidation: bad inputs are loud, specific errors.
+func TestCoresSweepValidation(t *testing.T) {
+	r := NewRunner(hw.NewPaperTestbed())
+	for _, tc := range []struct {
+		name    string
+		flows   int
+		counts  []int
+		wantSub string
+	}{
+		{"zero flows", 0, []int{1}, "non-positive flow count"},
+		{"negative flows", -3, []int{1}, "non-positive flow count"},
+		{"no counts", 1000, nil, "no worker counts"},
+		{"zero worker count", 1000, []int{1, 0}, "non-positive worker count"},
+	} {
+		_, err := r.CoresSweep([]int{2}, 0.5, tc.flows, 1000, tc.counts, runtime.SimConfig{})
+		if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+// TestScaleSweepRejectsBadFlows: the flow-scale sweep refuses non-positive
+// flow populations up front instead of failing deep in a cell.
+func TestScaleSweepRejectsBadFlows(t *testing.T) {
+	r := NewRunner(hw.NewPaperTestbed())
+	_, err := r.ScaleSweep([]int{2}, 0.5, []ScalePoint{{Flows: 0, TargetPackets: 100, Seed: 1}}, runtime.SimConfig{})
+	if err == nil || !strings.Contains(err.Error(), "non-positive flow count") {
+		t.Fatalf("err = %v, want non-positive flow count error", err)
+	}
+}

@@ -80,6 +80,11 @@ func DefaultScalePoints(base int64) []ScalePoint {
 // results are reduced by point index — the deterministic fields are
 // byte-identical at any worker count.
 func (r *Runner) ScaleSweep(chainIdxs []int, delta float64, points []ScalePoint, cfg runtime.SimConfig) ([]ScaleCell, error) {
+	for pi, pt := range points {
+		if pt.Flows <= 0 {
+			return nil, fmt.Errorf("experiments: scalesweep point %d: non-positive flow count %d", pi, pt.Flows)
+		}
+	}
 	in, _, err := r.input(chainIdxs, delta)
 	if err != nil {
 		return nil, err

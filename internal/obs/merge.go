@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Merge folds every metric of src into r, creating series in r as needed.
+// It is the reduction step for sharded collection: workers accumulate into
+// private registries and the coordinator merges them back into the shared
+// one when the run finishes.
+//
+// Merge is deterministic and exact in the sense the parallel simulator
+// needs: series are visited in sorted metric-identity order, counters and
+// histogram counts/buckets add integerwise, and a histogram's float sum is
+// folded with a single addition per source series — so when every series is
+// wholly owned by one shard (src holds the only observations, r holds
+// none), the merged state is bit-identical to having observed the same
+// sequence on r directly. Gauges add their values (a shard-local gauge is a
+// delta); spans are not merged. Merge writes through r's enable flag — a
+// disabled destination still receives the series and their values, matching
+// the semantics of registration (which also ignores the flag).
+//
+// Merge is not safe to run concurrently with updates to src.
+func (r *Registry) Merge(src *Registry) {
+	if src == nil || src == r {
+		return
+	}
+	src.mu.RLock()
+	cids := make([]string, 0, len(src.counters))
+	for id := range src.counters {
+		cids = append(cids, id)
+	}
+	gids := make([]string, 0, len(src.gauges))
+	for id := range src.gauges {
+		gids = append(gids, id)
+	}
+	hids := make([]string, 0, len(src.hists))
+	for id := range src.hists {
+		hids = append(hids, id)
+	}
+	src.mu.RUnlock()
+	sort.Strings(cids)
+	sort.Strings(gids)
+	sort.Strings(hids)
+
+	for _, id := range cids {
+		src.mu.RLock()
+		c := src.counters[id]
+		src.mu.RUnlock()
+		dst := r.Counter(c.name, c.labels...)
+		if v := c.v.Load(); v != 0 {
+			dst.v.Add(v)
+		}
+	}
+	for _, id := range gids {
+		src.mu.RLock()
+		g := src.gauges[id]
+		src.mu.RUnlock()
+		dst := r.Gauge(g.name, g.labels...)
+		if v := bitsFloat(g.bits.Load()); v != 0 {
+			addFloatBits(&dst.bits, v)
+		}
+	}
+	for _, id := range hids {
+		src.mu.RLock()
+		h := src.hists[id]
+		src.mu.RUnlock()
+		r.Histogram(h.name, h.labels...).Merge(h)
+	}
+}
+
+// Merge folds src's samples into h: counts and buckets add, the sum is
+// folded with one addition, and min/max extend h's extrema. A src with no
+// samples leaves h untouched (beyond series registration by the caller).
+// Merge bypasses the enable flag like Registry.Merge, and is not safe to
+// run concurrently with Observe on src.
+func (h *Histogram) Merge(src *Histogram) {
+	if src == nil || src == h {
+		return
+	}
+	n := src.count.Load()
+	if n == 0 {
+		return
+	}
+	h.count.Add(n)
+	for i := range src.buckets {
+		if b := src.buckets[i].Load(); b != 0 {
+			h.buckets[i].Add(b)
+		}
+	}
+	addFloatBits(&h.sumBits, bitsFloat(src.sumBits.Load()))
+	for {
+		old := h.minBits.Load()
+		v := bitsFloat(src.minBits.Load())
+		if v >= bitsFloat(old) || h.minBits.CompareAndSwap(old, floatBits(v)) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		v := bitsFloat(src.maxBits.Load())
+		if v <= bitsFloat(old) || h.maxBits.CompareAndSwap(old, floatBits(v)) {
+			break
+		}
+	}
+}
+
+// addFloatBits CAS-adds delta to a float64 stored as bits.
+func addFloatBits(bits *atomic.Uint64, delta float64) {
+	for {
+		old := bits.Load()
+		if bits.CompareAndSwap(old, floatBits(bitsFloat(old)+delta)) {
+			return
+		}
+	}
+}

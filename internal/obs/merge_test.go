@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// mergeEvent is one recorded metric update, replayable against any registry.
+type mergeEvent struct {
+	kind   int // 0 counter Add, 1 gauge Add, 2 gauge Set, 3 histogram Observe
+	series int
+	u      uint64
+	f      float64
+}
+
+// mergeSeries describes one metric series drawn by the generator.
+type mergeSeries struct {
+	kind   int // 0 counter, 1 gauge, 2 histogram
+	name   string
+	labels []Label
+	owner  int // shard registry that owns every event of this series
+}
+
+func replay(reg *Registry, series []mergeSeries, evs []mergeEvent) {
+	for _, ev := range evs {
+		s := series[ev.series]
+		switch ev.kind {
+		case 0:
+			reg.Counter(s.name, s.labels...).Add(ev.u)
+		case 1:
+			reg.Gauge(s.name, s.labels...).Add(ev.f)
+		case 2:
+			reg.Gauge(s.name, s.labels...).Set(ev.f)
+		case 3:
+			reg.Histogram(s.name, s.labels...).Observe(ev.f)
+		}
+	}
+}
+
+func snapshotJSON(t *testing.T, reg *Registry) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestMergePartitionedSeries is the merge exactness property the parallel
+// simulator relies on: when every series is wholly owned by one shard
+// registry, merging the shards (in any fixed order) into a fresh registry
+// yields an export byte-identical to accumulating the same event stream
+// into a single registry. Values include histogram bucket boundaries
+// (histMin·2^k) and their float neighbours, where a bucketing discrepancy
+// between the two paths would shift counts.
+func TestMergePartitionedSeries(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 40; trial++ {
+		nShards := 2 + rng.Intn(4)
+		nSeries := 1 + rng.Intn(8)
+		series := make([]mergeSeries, nSeries)
+		for i := range series {
+			series[i] = mergeSeries{
+				kind:  rng.Intn(3),
+				name:  "m" + string(rune('a'+rng.Intn(4))),
+				owner: rng.Intn(nShards),
+			}
+			// Distinct label per series index so same-named series stay
+			// distinct series (ownership is per metric ID).
+			series[i].labels = []Label{L("s", string(rune('0'+i)))}
+			if rng.Intn(4) == 0 {
+				series[i].labels = append(series[i].labels, L("extra", "x"))
+			}
+		}
+		evs := make([]mergeEvent, 50+rng.Intn(200))
+		for i := range evs {
+			si := rng.Intn(nSeries)
+			ev := mergeEvent{series: si}
+			switch series[si].kind {
+			case 0:
+				ev.kind = 0
+				ev.u = uint64(rng.Intn(1000))
+			case 1:
+				ev.kind = 1 + rng.Intn(2) // Add or Set
+				ev.f = float64(rng.Intn(1<<16)) / (1 << 8)
+			case 2:
+				ev.kind = 3
+				switch rng.Intn(4) {
+				case 0: // exact bucket boundary
+					ev.f = histMin * math.Pow(2, float64(rng.Intn(histBuckets)))
+				case 1: // just past a boundary
+					b := histMin * math.Pow(2, float64(rng.Intn(histBuckets)))
+					ev.f = math.Nextafter(b, math.Inf(1))
+				case 2: // below histMin / overflow region
+					ev.f = []float64{0, 1e-12, 5e12, histMin}[rng.Intn(4)]
+				default:
+					ev.f = rng.Float64() * 10
+				}
+			}
+			evs[i] = ev
+		}
+
+		serial := New()
+		serial.Enable()
+		replay(serial, series, evs)
+
+		shards := make([]*Registry, nShards)
+		for w := range shards {
+			shards[w] = New()
+			shards[w].Enable()
+		}
+		for _, ev := range evs {
+			sh := shards[series[ev.series].owner]
+			replay(sh, series, []mergeEvent{ev})
+		}
+		merged := New()
+		merged.Enable()
+		for _, sh := range shards {
+			merged.Merge(sh)
+		}
+
+		want, got := snapshotJSON(t, serial), snapshotJSON(t, merged)
+		if !bytes.Equal(want, got) {
+			t.Fatalf("trial %d: merged export differs from serial accumulation\nserial: %s\nmerged: %s",
+				trial, want, got)
+		}
+	}
+}
+
+// TestMergeSplitHistogram covers the other merge direction the simulator
+// does NOT rely on but the API allows: one series split across shards.
+// Count, per-bucket counts, min, and max fold exactly; the sum folds
+// exactly too when the observed values are dyadic rationals (no rounding),
+// which keeps the whole export byte-comparable.
+func TestMergeSplitHistogram(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	serial := New()
+	serial.Enable()
+	a, b := New(), New()
+	a.Enable()
+	b.Enable()
+	for i := 0; i < 500; i++ {
+		v := float64(1+rng.Intn(1<<16)) / (1 << 10)
+		serial.Histogram("h", L("k", "v")).Observe(v)
+		if i%2 == 0 {
+			a.Histogram("h", L("k", "v")).Observe(v)
+		} else {
+			b.Histogram("h", L("k", "v")).Observe(v)
+		}
+		serial.Counter("c").Inc()
+		if i%2 == 0 {
+			a.Counter("c").Inc()
+		} else {
+			b.Counter("c").Inc()
+		}
+	}
+	merged := New()
+	merged.Enable()
+	merged.Merge(a)
+	merged.Merge(b)
+	if want, got := snapshotJSON(t, serial), snapshotJSON(t, merged); !bytes.Equal(want, got) {
+		t.Fatalf("split-series merge differs:\nserial: %s\nmerged: %s", want, got)
+	}
+}
+
+// TestMergeRegistersZeroSeries: merge must carry over series that exist in
+// the source but never saw a nonzero update, so a parallel run exports the
+// same series set as a serial run (which registers handles up front).
+func TestMergeRegistersZeroSeries(t *testing.T) {
+	src := New()
+	src.Enable()
+	src.Counter("zc")
+	src.Gauge("zg")
+	src.Histogram("zh", L("q", "1"))
+
+	dst := New()
+	dst.Enable()
+	dst.Merge(src)
+	snap := dst.Snapshot()
+	if len(snap.Counters) != 1 || snap.Counters[0].Name != "zc" || snap.Counters[0].Value != 0 {
+		t.Fatalf("zero counter not carried: %+v", snap.Counters)
+	}
+	if len(snap.Gauges) != 1 || snap.Gauges[0].Name != "zg" {
+		t.Fatalf("zero gauge not carried: %+v", snap.Gauges)
+	}
+	if len(snap.Histograms) != 1 || snap.Histograms[0].Name != "zh" || snap.Histograms[0].Count != 0 {
+		t.Fatalf("zero histogram not carried: %+v", snap.Histograms)
+	}
+}
+
+// TestMergeIgnoresDisabledFlag: the engine merges shard registries after
+// the default registry may have been disabled again; Merge must still move
+// the data (it writes through the internals, not the gated public setters).
+func TestMergeIgnoresDisabledFlag(t *testing.T) {
+	src := New()
+	src.Enable()
+	src.Counter("c").Add(7)
+	src.Histogram("h").Observe(2.0)
+
+	dst := New() // never enabled
+	dst.Merge(src)
+	if got := dst.Counter("c").Value(); got != 7 {
+		t.Fatalf("counter merge gated by disabled flag: got %d", got)
+	}
+	if got := dst.Histogram("h").Count(); got != 1 {
+		t.Fatalf("histogram merge gated by disabled flag: got %d", got)
+	}
+}

@@ -3,6 +3,7 @@ package pisa
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"lemur/internal/bpf"
 	"lemur/internal/hw"
@@ -137,11 +138,14 @@ type Switch struct {
 	rules   []ClassifierRule
 	entries map[uint32]map[uint8]*PathEntry
 
-	// Counters for tests and the runtime.
+	// Counters for tests and the runtime, incremented atomically: the ToR
+	// is the one dataplane object every simulator shard shares, so its
+	// counters must tolerate concurrent ProcessFrameInto callers.
 	InFrames, DroppedFrames uint64
 
-	// scratch is the decode buffer for ProcessFrameInPlace; the switch is a
-	// single-goroutine object like the per-deployment simulator driving it.
+	// scratch is the decode buffer for ProcessFrameInPlace; that entry
+	// point is single-goroutine like the serial simulator driving it.
+	// Concurrent callers use ProcessFrameInto with their own scratch.
 	scratch packet.Packet
 }
 
@@ -226,8 +230,18 @@ func (s *Switch) ProcessFrameInPlace(frame []byte, env *nf.Env) ([]byte, Forward
 	return s.process(frame, env, &s.scratch, true)
 }
 
+// ProcessFrameInto is ProcessFrameInPlace with a caller-owned decode
+// scratch: the entry point for drivers that run one switch from several
+// goroutines (the parallel simulator gives each worker shard its own
+// scratch). Steering state is read-only during processing and the frame
+// counters are atomic, so concurrent callers only need distinct scratch
+// buffers and distinct frames.
+func (s *Switch) ProcessFrameInto(scratch *packet.Packet, frame []byte, env *nf.Env) ([]byte, Forward, error) {
+	return s.process(frame, env, scratch, true)
+}
+
 func (s *Switch) process(frame []byte, env *nf.Env, p *packet.Packet, inPlace bool) (out []byte, fwd Forward, err error) {
-	s.InFrames++
+	atomic.AddUint64(&s.InFrames, 1)
 	mFrames.Inc()
 	defer func() {
 		if fwd.Kind == Dropped {
@@ -242,7 +256,7 @@ func (s *Switch) process(frame []byte, env *nf.Env, p *packet.Packet, inPlace bo
 	}
 
 	if err := p.Decode(frame); err != nil {
-		s.DroppedFrames++
+		atomic.AddUint64(&s.DroppedFrames, 1)
 		return nil, Forward{Kind: Dropped}, fmt.Errorf("pisa: undecodable frame: %w", err)
 	}
 
@@ -256,21 +270,21 @@ func (s *Switch) process(frame []byte, env *nf.Env, p *packet.Packet, inPlace bo
 			}
 		}
 		if !matched {
-			s.DroppedFrames++
+			atomic.AddUint64(&s.DroppedFrames, 1)
 			return nil, Forward{Kind: Dropped}, ErrNoPath
 		}
 	}
 
 	e := s.Entry(spi, si)
 	if e == nil {
-		s.DroppedFrames++
+		atomic.AddUint64(&s.DroppedFrames, 1)
 		return nil, Forward{Kind: Dropped}, fmt.Errorf("%w: spi=%d si=%d", ErrNoPath, spi, si)
 	}
 
 	for _, fn := range e.Apply {
 		fn.Process(p, env)
 		if p.Drop {
-			s.DroppedFrames++
+			atomic.AddUint64(&s.DroppedFrames, 1)
 			return nil, Forward{Kind: Dropped}, nil
 		}
 	}
@@ -284,7 +298,7 @@ func (s *Switch) process(frame []byte, env *nf.Env, p *packet.Packet, inPlace bo
 		outSPI, outSI = b.SPI, b.SI
 	} else if e.AdvanceSI > 0 {
 		if si < e.AdvanceSI {
-			s.DroppedFrames++
+			atomic.AddUint64(&s.DroppedFrames, 1)
 			return nil, Forward{Kind: Dropped}, fmt.Errorf("pisa: SI underflow (si=%d advance=%d)", si, e.AdvanceSI)
 		}
 		outSI = si - e.AdvanceSI
@@ -299,7 +313,7 @@ func (s *Switch) process(frame []byte, env *nf.Env, p *packet.Packet, inPlace bo
 			enc, err = nsh.Encap(frame, outSPI, outSI)
 		}
 		if err != nil {
-			s.DroppedFrames++
+			atomic.AddUint64(&s.DroppedFrames, 1)
 			return nil, Forward{Kind: Dropped}, err
 		}
 		frame = enc
@@ -311,13 +325,13 @@ func (s *Switch) process(frame []byte, env *nf.Env, p *packet.Packet, inPlace bo
 			dec, _, _, err = nsh.Decap(frame)
 		}
 		if err != nil {
-			s.DroppedFrames++
+			atomic.AddUint64(&s.DroppedFrames, 1)
 			return nil, Forward{Kind: Dropped}, err
 		}
 		frame = dec
 	case tagged && (outSPI != spi || outSI != si):
 		if err := nsh.SetTag(frame, outSPI, outSI); err != nil {
-			s.DroppedFrames++
+			atomic.AddUint64(&s.DroppedFrames, 1)
 			return nil, Forward{Kind: Dropped}, err
 		}
 	}

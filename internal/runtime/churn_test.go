@@ -14,6 +14,7 @@ import (
 	"lemur/internal/nfgraph"
 	"lemur/internal/nfspec"
 	"lemur/internal/obs"
+	"lemur/internal/pisa"
 	"lemur/internal/placer"
 	"lemur/internal/profile"
 )
@@ -244,6 +245,11 @@ func TestSimulateChurnDeterministic(t *testing.T) {
 	})
 
 	run := func() ([]byte, []byte) {
+		// The shared compile cache is process-global; reset it so both
+		// runs' rewire recompiles see the same hit/miss trajectory (the
+		// test is otherwise order-dependent on which suite tests ran
+		// before it and fails when run in isolation).
+		pisa.SharedCache().Reset()
 		_, _, tb := deployHeadroom(t, hw.NewPaperTestbed(hw.WithServers(2)), failoverSpec, 4)
 		plan, err := churn.Parse("admit:gamma@0.05s;retire:beta@0.12s")
 		if err != nil {

@@ -3,17 +3,12 @@ package runtime
 import (
 	"fmt"
 	"math/rand"
-	"strconv"
 
-	"lemur/internal/bess"
 	"lemur/internal/chaos"
 	"lemur/internal/churn"
 	"lemur/internal/nf"
 	"lemur/internal/nfgraph"
-	"lemur/internal/nsh"
 	"lemur/internal/obs"
-	"lemur/internal/pisa"
-	"lemur/internal/placer"
 	"lemur/internal/profile"
 )
 
@@ -44,6 +39,14 @@ type SimConfig struct {
 	// QueueCap bounds each subgroup's input queue in packets (default 256).
 	QueueCap int
 	Seed     int64
+
+	// Workers splits the run across worker goroutines that own disjoint
+	// connected components of the chain↔device steering graph (see
+	// buildSimPartition). The result — SimResult and metrics snapshot — is
+	// byte-identical at any value: 0 and 1 run the serial engine, larger
+	// values are capped at the deployment's component count. Negative is
+	// an error.
+	Workers int
 
 	// FlowScale, when positive, replaces each chain's default 40-flow
 	// incremental generator with an arena-backed pre-generated schedule of
@@ -162,8 +165,20 @@ func (r *packetRing) popServed(served int) {
 }
 
 // Simulate runs the discrete-time simulation with the given offered rates.
+// With cfg.Workers > 1 the run is executed by the parallel engine
+// (simengine.go): the steering graph's connected components are
+// partitioned across worker shards and each shard executes the serial
+// schedule restricted to its components, which is byte-identical to the
+// serial run — the in-package property tests enforce this against
+// simulateReference at several worker counts.
 func (tb *Testbed) Simulate(offered []float64, cfg SimConfig) (*SimResult, error) {
 	cfg.defaults()
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("runtime: negative sim worker count %d", cfg.Workers)
+	}
+	if cfg.FlowScale < 0 {
+		return nil, fmt.Errorf("runtime: negative flow scale %d", cfg.FlowScale)
+	}
 	in := tb.D.Input
 	if len(offered) != len(in.Chains) {
 		return nil, fmt.Errorf("runtime: offered %d rates for %d chains", len(offered), len(in.Chains))
@@ -197,25 +212,29 @@ func (tb *Testbed) Simulate(offered []float64, cfg SimConfig) (*SimResult, error
 		offered = append([]float64(nil), offered...)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed*17 + 3))
-	env := &nf.Env{Rand: rng}
+
+	eng := &simEngine{
+		tb: tb, cfg: &cfg, in: in, ix: ix, fc: fc, cc: cc, rng: rng,
+		offered: offered, frameBits: in.FrameBitsOrDefault(),
+	}
 
 	// Traffic generators per chain (FlowScale-aware).
-	gens := make([]frameSource, len(in.Chains))
+	eng.gens = make([]frameSource, len(in.Chains))
 	for ci, g := range in.Chains {
-		gen, err := newChainGen(g.Chain.Aggregate, ci, &cfg)
-		if err != nil {
-			return nil, err
+		gen, gerr := newChainGen(g.Chain.Aggregate, ci, &cfg)
+		if gerr != nil {
+			return nil, gerr
 		}
-		gens[ci] = gen
+		eng.gens[ci] = gen
 	}
 
 	// Realized per-packet costs and per-step budgets, indexed by entry.
 	// The cost draws walk entries[:nPrimary] — name-sorted, the same order
 	// the reference engine draws in, so seeded runs stay byte-identical.
 	ne := len(ix.entries)
-	cost := make([]float64, ne)
-	budget := make([]float64, ne)
-	credit := make([]float64, ne)
+	eng.cost = make([]float64, ne)
+	eng.budget = make([]float64, ne)
+	eng.credit = make([]float64, ne)
 	for i := 0; i < ix.nPrimary; i++ {
 		e := &ix.entries[i]
 		c := in.Topo.EncapCycles + in.Topo.DemuxCycles
@@ -227,48 +246,65 @@ func (tb *Testbed) Simulate(offered []float64, cfg SimConfig) (*SimResult, error
 		if e.cross {
 			c *= in.Topo.CrossSocketPenalty
 		}
-		cost[i] = c
-		budget[i] = float64(e.psg.Cores) * e.srv.ClockHz * cfg.StepSec / cfg.Scale
+		eng.cost[i] = c
+		eng.budget[i] = float64(e.psg.Cores) * e.srv.ClockHz * cfg.StepSec / cfg.Scale
 	}
 
 	// Ring queues, one per entry (orphan entries have zero budget and are
 	// never drained; their rings only absorb parks until overflow).
-	rings := make([]packetRing, ne)
-	for i := range rings {
-		rings[i].buf = make([]*simPacket, cfg.QueueCap)
+	eng.rings = make([]packetRing, ne)
+	for i := range eng.rings {
+		eng.rings[i].buf = make([]*simPacket, cfg.QueueCap)
 	}
 
-	// Per-subgroup and per-core metric handles, hoisted so the step loop
-	// pays one atomic branch per observation. Handle slices are indexed in
-	// primaries (sorted) order, keeping observation order — and therefore
-	// histogram float sums — deterministic for a fixed seed. A mid-run
-	// rewire re-hoists them for the new primary set.
-	var qDepthH, qDelayH []*obs.Histogram
-	var coreUtilH [][]*obs.Histogram
-	hoistHandles := func() {
-		qDepthH = make([]*obs.Histogram, ix.nPrimary)
-		qDelayH = make([]*obs.Histogram, ix.nPrimary)
-		coreUtilH = make([][]*obs.Histogram, ix.nPrimary)
-		for i := 0; i < ix.nPrimary; i++ {
-			psg := ix.entries[i].psg
-			qDepthH[i] = obs.H("lemur_sim_queue_depth", obs.L("subgroup", psg.Name()))
-			qDelayH[i] = obs.H("lemur_sim_queue_delay_seconds", obs.L("subgroup", psg.Name()))
-			for _, cs := range tb.D.Shares[psg] {
-				coreUtilH[i] = append(coreUtilH[i], obs.H("lemur_bess_core_utilization",
-					obs.L("server", psg.Server), obs.L("core", strconv.Itoa(cs.Core))))
-			}
+	// Worker shards. A requested parallel run falls back to the serial
+	// engine when the steering graph has only one component to own.
+	nShards := 1
+	if cfg.Workers > 1 {
+		if part := buildSimPartition(tb.D, ix, len(offered), cfg.Workers); part.workers > 1 {
+			eng.part = part
+			nShards = part.workers
 		}
 	}
-	hoistHandles()
-	injC := make([]*obs.Counter, len(offered))
-	egrC := make([]*obs.Counter, len(offered))
-	drpC := make([]*obs.Counter, len(offered))
-	for ci := range offered {
-		lbl := obs.L("chain", strconv.Itoa(ci))
-		injC[ci] = obs.C("lemur_sim_injected_total", lbl)
-		egrC[ci] = obs.C("lemur_sim_egressed_total", lbl)
-		drpC[ci] = obs.C("lemur_sim_dropped_total", lbl)
+	eng.shards = make([]*simShard, nShards)
+	for i := range eng.shards {
+		sh := &simShard{id: i}
+		if i == 0 {
+			// Shard 0 shares the engine rng, exactly like the serial
+			// engine's single NF env did.
+			sh.env = &nf.Env{Rand: rng}
+		} else {
+			// Every other shard gets its own deterministic stream. No NF
+			// draws from the env today, so the serial engine's draw order
+			// is untouched either way; the streams exist so one that does
+			// cannot race its siblings.
+			sh.env = &nf.Env{Rand: rand.New(rand.NewSource(cfg.Seed*31 + 1_000_003*int64(i)))}
+		}
+		eng.shards[i] = sh
 	}
+	if eng.part != nil {
+		for i, sh := range eng.shards {
+			sh.prims, sh.chains = eng.part.prims[i], eng.part.chains[i]
+		}
+		if fc == nil && cc == nil {
+			// Fixed partition: every hoisted series is wholly shard-owned
+			// for the whole run, so shards accumulate into private
+			// registries, merged deterministically when the run ends.
+			// Fault/churn runs can migrate series ownership mid-run and
+			// keep their handles on the shared default registry instead.
+			on := obs.Default().Enabled()
+			for _, sh := range eng.shards {
+				sh.reg = obs.New()
+				if on {
+					sh.reg.Enable()
+				}
+			}
+		}
+	} else {
+		eng.assignSerial()
+	}
+	eng.hoistHandles()
+	eng.hoistChainCounters()
 
 	res := &SimResult{
 		OfferedBps:       append([]float64(nil), offered...),
@@ -284,590 +320,53 @@ func (tb *Testbed) Simulate(offered []float64, cfg SimConfig) (*SimResult, error
 	if cc != nil {
 		res.Churn = cc.report
 	}
-	dropped := make([]int, len(offered))
-	drop := func(ci int) {
-		dropped[ci]++
-		drpC[ci].Inc()
-	}
-	queueDelay := make([]float64, len(offered))
-	frameBits := in.FrameBitsOrDefault()
+	eng.res = res
+	eng.dropped = make([]int, len(offered))
+	eng.queueDelay = make([]float64, len(offered))
 
 	// Delay samples pre-sized from expected injections to kill append churn.
-	delaySamples := make([][]float64, len(offered))
+	frameBits := eng.frameBits
+	eng.delaySamples = make([][]float64, len(offered))
 	for ci := range offered {
 		expect := int(offered[ci]/frameBits/cfg.Scale*cfg.DurationSec) + 16
-		delaySamples[ci] = make([]float64, 0, expect)
-	}
-
-	// Arena: simPacket freelist and recycled frame buffers. Every packet
-	// death (egress or drop) returns both; every buffer swap an NF forces
-	// (e.g. Tunnel reallocating the frame) retires the old buffer here too.
-	var freePkts []*simPacket
-	getPkt := func() *simPacket {
-		if n := len(freePkts); n > 0 {
-			p := freePkts[n-1]
-			freePkts = freePkts[:n-1]
-			return p
-		}
-		return &simPacket{}
-	}
-	putPkt := func(p *simPacket) {
-		p.frame = nil
-		freePkts = append(freePkts, p)
-	}
-	var freeBufs [][]byte
-	getBuf := func() []byte {
-		if n := len(freeBufs); n > 0 {
-			b := freeBufs[n-1]
-			freeBufs = freeBufs[:n-1]
-			return b
-		}
-		return nil
-	}
-	putBuf := func(b []byte) {
-		if cap(b) > 0 {
-			freeBufs = append(freeBufs, b[:0])
-		}
+		eng.delaySamples[ci] = make([]float64, 0, expect)
 	}
 
 	// Fractional arrival accumulators.
-	acc := make([]float64, len(offered))
-	steps := int(cfg.DurationSec / cfg.StepSec)
+	eng.acc = make([]float64, len(offered))
+	eng.steps = int(cfg.DurationSec / cfg.StepSec)
+	eng.stepCredit = make([]float64, ix.nPrimary)
 
-	// egress/die finalize a packet and recycle its arena resources.
-	egress := func(p *simPacket, frame []byte) {
-		res.Egressed[p.chain]++
-		egrC[p.chain].Inc()
-		queueDelay[p.chain] += p.queuedSec
-		delaySamples[p.chain] = append(delaySamples[p.chain], p.queuedSec)
-		putBuf(frame)
-		putPkt(p)
+	switch {
+	case eng.part == nil:
+		err = eng.runSerial()
+	case fc == nil && cc == nil:
+		err = eng.runParallelFree()
+	default:
+		err = eng.runParallelEpochs()
 	}
-	die := func(p *simPacket, frame []byte) {
-		drop(p.chain)
-		putBuf(frame)
-		putPkt(p)
+	if err != nil {
+		return nil, err
 	}
-
-	// advance walks a packet from the switch until it egresses, drops, or
-	// parks in a subgroup queue. All hops run in place over the packet's
-	// pooled buffer; the base-pointer checks catch NFs that swap buffers
-	// and retire the orphaned one to the pool.
-	advance := func(p *simPacket, now float64) (parked bool, err error) {
-		frame := p.frame
-		for hop := 0; hop < maxWalkHops; hop++ {
-			out, fwd, perr := tb.D.Switch.ProcessFrameInPlace(frame, env)
-			if perr != nil {
-				return false, perr
-			}
-			switch fwd.Kind {
-			case pisa.Egress:
-				egress(p, out)
-				return false, nil
-			case pisa.Dropped:
-				die(p, frame)
-				return false, nil
-			case pisa.Continue:
-				if &out[0] != &frame[0] {
-					putBuf(frame)
-				}
-				frame = out
-				continue
-			case pisa.ToServer:
-				if fc != nil && fc.dead[fwd.Target] {
-					// Blackhole: steered into a crashed server before the
-					// reconfigured rules landed.
-					fc.report.FaultDrops[p.chain]++
-					die(p, frame)
-					return false, nil
-				}
-				pl := tb.D.Pipelines[fwd.Target]
-				if pl == nil {
-					return false, fmt.Errorf("runtime: no pipeline %q", fwd.Target)
-				}
-				if &out[0] != &frame[0] {
-					putBuf(frame)
-				}
-				frame = out
-				spi, si, terr := nsh.Tag(frame)
-				if terr != nil {
-					return false, terr
-				}
-				idx := ix.lookup(pl, spi, si)
-				if idx < 0 {
-					return false, fmt.Errorf("runtime: no subgroup for spi=%d si=%d", spi, si)
-				}
-				c := cost[idx]
-				if c == 0 {
-					c = ix.entries[idx].sub.CyclesPerPkt
-				}
-				if credit[idx] < c {
-					// Out of budget this step: park the packet.
-					r := &rings[idx]
-					if r.n >= cfg.QueueCap {
-						die(p, frame)
-						return false, nil
-					}
-					p.frame = frame
-					p.enqueuedSec = now
-					r.push(p)
-					return true, nil
-				}
-				credit[idx] -= c
-				next, perr := pl.ProcessFrameInPlace(frame, env)
-				if perr != nil {
-					return false, perr
-				}
-				if next == nil {
-					die(p, frame)
-					return false, nil
-				}
-				if &next[0] != &frame[0] {
-					putBuf(frame)
-				}
-				frame = next
-			case pisa.ToNIC:
-				if fc != nil && fc.dead[fwd.Target] {
-					fc.report.FaultDrops[p.chain]++
-					die(p, frame)
-					return false, nil
-				}
-				nic := tb.D.NICs[fwd.Target]
-				if nic == nil {
-					return false, fmt.Errorf("runtime: no NIC %q", fwd.Target)
-				}
-				if &out[0] != &frame[0] {
-					putBuf(frame)
-				}
-				frame = out
-				next, perr := nic.ProcessFrameInPlace(frame, env)
-				if perr != nil {
-					return false, perr
-				}
-				if next == nil {
-					die(p, frame)
-					return false, nil
-				}
-				if &next[0] != &frame[0] {
-					putBuf(frame)
-				}
-				frame = next
-			default:
-				return false, fmt.Errorf("runtime: unsupported forward %v", fwd.Kind)
-			}
-		}
-		die(p, frame)
-		return false, nil
-	}
-
-	// resume continues a parked packet from its subgroup.
-	resume := func(p *simPacket, pl *bess.Pipeline, now float64) (bool, error) {
-		old := p.frame
-		next, perr := pl.ProcessFrameInPlace(old, env)
-		if perr != nil {
-			return false, perr
-		}
-		if next == nil {
-			die(p, old)
-			return false, nil
-		}
-		if &next[0] != &old[0] {
-			putBuf(old)
-		}
-		p.frame = next
-		return advance(p, now)
-	}
-
-	// Credits carry over between steps (bounded to two quanta) so service
-	// capacity is not floored to whole packets per step.
-	stepCredit := make([]float64, ix.nPrimary)
-
-	// rebuildAndMigrate swaps the simulator's accounting state after any
-	// mid-run rewire (failover, admission, or retirement): fresh index and
-	// cost/budget/credit arrays with pinned entries carried across, parked
-	// packets migrated to their (pinned) subgroups' new entries by
-	// bess-subgroup identity, and per-subgroup metric handles re-hoisted.
-	// Packets with no surviving entry are handed to onOrphan and dropped, as
-	// a real reconfiguration loses them.
-	rebuildAndMigrate := func(capFactor, costFactor map[string]float64, onOrphan func(*simPacket)) error {
-		newIx, nCost, nBudget, nCredit, rerr := rebuildSimArrays(tb, capFactor, costFactor, &cfg, rng, ix, cost, budget, credit)
-		if rerr != nil {
-			return rerr
-		}
-		newRings := make([]packetRing, len(newIx.entries))
-		for i := range newRings {
-			newRings[i].buf = make([]*simPacket, cfg.QueueCap)
-		}
-		for i := range ix.entries {
-			r := &rings[i]
-			n0 := r.n
-			if n0 == 0 {
-				continue
-			}
-			tgt := int32(-1)
-			if ni, ok := newIx.idxOf[ix.entries[i].sub]; ok {
-				tgt = ni
-			}
-			for k := 0; k < n0; k++ {
-				p := r.at(k)
-				if tgt >= 0 && newRings[tgt].n < cfg.QueueCap {
-					newRings[tgt].push(p)
-				} else {
-					onOrphan(p)
-					die(p, p.frame)
-				}
-			}
-			r.popServed(n0)
-		}
-		ix, cost, budget, credit, rings = newIx, nCost, nBudget, nCredit, newRings
-		hoistHandles()
-		stepCredit = make([]float64, ix.nPrimary)
-		return nil
-	}
-
-	// applyFaults fires due chaos events at a step boundary: crashes drain
-	// and blackhole their device, degrades/overloads rescale budgets/costs,
-	// and a matured detection+reconfiguration window runs the incremental
-	// Replace→Rewire and swaps the simulator's accounting state in place —
-	// parked packets migrate to their (pinned) subgroups' new entries by
-	// bess-subgroup identity; packets of re-placed chains are dropped, as a
-	// real reconfiguration loses them.
-	applyFaults := func(now float64) error {
-		for fc.next < len(fc.events) && fc.events[fc.next].AtSec <= now+1e-12 {
-			ev := fc.events[fc.next]
-			fc.next++
-			fc.report.Events = append(fc.report.Events, ev.String())
-			switch ev.Kind {
-			case chaos.Crash:
-				if fc.dead[ev.Target] {
-					continue
-				}
-				fc.failed[ev.Target] = true
-				for dev := range placer.NewNodeSet(ev.Target).Expand(in.Topo) {
-					fc.dead[dev] = true
-				}
-				// Chains severed now: their placement references a dead device.
-				for _, ci := range placer.AffectedChains(in, tb.D.Result, fc.dead) {
-					if fc.downSince[ci] < 0 {
-						fc.downSince[ci] = ev.AtSec
-					}
-				}
-				// In-flight packets parked on the dead device drop; its
-				// subgroups stop serving.
-				for i := range ix.entries {
-					e := &ix.entries[i]
-					host := ""
-					switch {
-					case e.srv != nil:
-						host = e.srv.Name
-					case e.pipe != nil:
-						host = e.pipe.Server.Name
-					}
-					if host == "" || !fc.dead[host] {
-						continue
-					}
-					r := &rings[i]
-					for k := 0; k < r.n; k++ {
-						p := r.at(k)
-						fc.report.FaultDrops[p.chain]++
-						die(p, p.frame)
-					}
-					r.popServed(r.n)
-					if i < ix.nPrimary {
-						budget[i], credit[i] = 0, 0
-					}
-				}
-				fc.rewireAt = ev.AtSec + fc.detect + fc.reconfig
-			case chaos.LinkDegrade:
-				fc.capFactor[ev.Target] = mult(fc.capFactor, ev.Target) * ev.Factor
-				for i := 0; i < ix.nPrimary; i++ {
-					if ix.entries[i].srv.Name == ev.Target {
-						budget[i] *= ev.Factor
-					}
-				}
-				fc.markPost(ev.AtSec, res.Egressed)
-			case chaos.NFOverload:
-				fc.costFactor[ev.Target] = mult(fc.costFactor, ev.Target) * ev.Factor
-				for i := 0; i < ix.nPrimary; i++ {
-					if ix.entries[i].srv.Name == ev.Target {
-						cost[i] *= ev.Factor
-					}
-				}
-				fc.markPost(ev.AtSec, res.Egressed)
-			}
-		}
-		if fc.rewireAt >= 0 && now+1e-12 >= fc.rewireAt {
-			at := fc.rewireAt
-			fc.rewireAt = -1
-			prev := tb.D.Result
-			nextRes, rerr := placer.Replace(prev, in, fc.failed)
-			if rerr != nil {
-				fc.report.ReplaceError = rerr.Error()
-				fc.markPost(at, res.Egressed)
-				return nil // severed chains stay down
-			}
-			affected := placer.AffectedChains(in, prev, fc.dead)
-			rep, rerr := tb.D.Rewire(nextRes, affected)
-			if rerr != nil {
-				fc.report.ReplaceError = rerr.Error()
-				fc.markPost(at, res.Egressed)
-				return nil
-			}
-			fc.report.RewireSummary = rep.String()
-			if rerr := rebuildAndMigrate(fc.capFactor, fc.costFactor, func(p *simPacket) {
-				fc.report.FaultDrops[p.chain]++
-			}); rerr != nil {
-				return rerr
-			}
-			for _, ci := range affected {
-				if fc.downSince[ci] >= 0 {
-					fc.report.DowntimeSec[ci] += at - fc.downSince[ci]
-					fc.downSince[ci] = -1
-				}
-			}
-			fc.markPost(at, res.Egressed)
-			obs.C("lemur_sim_failovers_total").Inc()
-		}
-		return nil
-	}
-
-	// liveSlot resolves a chain name to its running (non-retired) slot in
-	// the current deployment, or -1.
-	liveSlot := func(name string) int {
-		for ci, g := range tb.D.Input.Chains {
-			if g.Chain.Name == name && !tb.D.Result.IsRetired(ci) {
-				return ci
-			}
-		}
-		return -1
-	}
-
-	// applyChurn fires due churn requests at a step boundary and lands the
-	// ones whose detection+reconfiguration window has matured. A retirement
-	// stops the chain's offered load at the request (the tenant has left)
-	// and reclaims resources at the landing; an admission solves at the
-	// landing — placer.Admit against the then-current deployment — so
-	// overlapping events always see fresh state. Only pin-preserving
-	// admission verdicts are applied; anything else is recorded as a
-	// rejection, never a disruptive mid-run repack.
-	applyChurn := func(now float64) error {
-		for cc.next < len(cc.events) && cc.events[cc.next].AtSec <= now+1e-12 {
-			ev := cc.events[cc.next]
-			cc.next++
-			cc.report.Events = append(cc.report.Events, ev.String())
-			switch ev.Kind {
-			case churn.Admit:
-				cc.pending = append(cc.pending, pendingChurn{
-					kind: churn.Admit, atSec: ev.AtSec + cc.detect + cc.reconfig,
-					reqSec: ev.AtSec, name: ev.Chain,
-				})
-			case churn.Retire:
-				slot := liveSlot(ev.Chain)
-				if slot < 0 {
-					cc.reject(ev, "no such running chain")
-					continue
-				}
-				if cc.pendingRetire(slot) {
-					cc.reject(ev, "already retiring")
-					continue
-				}
-				offered[slot] = 0
-				cc.pending = append(cc.pending, pendingChurn{
-					kind: churn.Retire, atSec: ev.AtSec + cc.detect + cc.reconfig,
-					reqSec: ev.AtSec, name: ev.Chain, slot: slot,
-				})
-			}
-		}
-		for len(cc.pending) > 0 && cc.pending[0].atSec <= now+1e-12 {
-			pd := cc.pending[0]
-			cc.pending = cc.pending[1:]
-			reqEv := churn.Event{Kind: pd.kind, Chain: pd.name, AtSec: pd.reqSec}
-			switch pd.kind {
-			case churn.Admit:
-				if liveSlot(pd.name) >= 0 {
-					cc.reject(reqEv, "chain already running")
-					continue
-				}
-				nOld := len(tb.D.Input.Chains)
-				grown := *tb.D.Input
-				grown.Chains = make([]*nfgraph.Graph, nOld+1)
-				copy(grown.Chains, tb.D.Input.Chains)
-				grown.Chains[nOld] = cc.catalog[pd.name]
-				newIn := &grown
-				arep, aerr := placer.Admit(tb.D.Result, newIn, []int{nOld})
-				if aerr != nil {
-					cc.reject(reqEv, aerr.Error())
-					continue
-				}
-				if arep.Outcome != placer.AdmitIncremental {
-					reason := arep.Outcome.String()
-					if arep.IncrementalReason != "" {
-						reason += ": " + arep.IncrementalReason
-					}
-					cc.reject(reqEv, reason)
-					continue
-				}
-				rep, rerr := tb.D.AdmitChains(newIn, arep.Result, []int{nOld})
-				if rerr != nil {
-					return rerr
-				}
-				cc.report.RewireSummaries = append(cc.report.RewireSummaries, rep.String())
-				// Grow every per-chain engine array for the new tail slot.
-				rate := arep.Result.ChainRates[nOld]
-				offered = append(offered, rate)
-				res.OfferedBps = append(res.OfferedBps, rate)
-				res.AchievedBps = append(res.AchievedBps, 0)
-				res.DropRate = append(res.DropRate, 0)
-				res.AvgQueueDelaySec = append(res.AvgQueueDelaySec, 0)
-				res.Injected = append(res.Injected, 0)
-				res.Egressed = append(res.Egressed, 0)
-				dropped = append(dropped, 0)
-				queueDelay = append(queueDelay, 0)
-				acc = append(acc, 0)
-				expect := int(rate/frameBits/cfg.Scale*(cfg.DurationSec-now)) + 16
-				delaySamples = append(delaySamples, make([]float64, 0, expect))
-				gen, gerr := newChainGen(newIn.Chains[nOld].Chain.Aggregate, nOld, &cfg)
-				if gerr != nil {
-					return gerr
-				}
-				gens = append(gens, gen)
-				lbl := obs.L("chain", strconv.Itoa(nOld))
-				injC = append(injC, obs.C("lemur_sim_injected_total", lbl))
-				egrC = append(egrC, obs.C("lemur_sim_egressed_total", lbl))
-				drpC = append(drpC, obs.C("lemur_sim_dropped_total", lbl))
-				cc.growChain(pd.reqSec, pd.atSec)
-				if rerr := rebuildAndMigrate(nil, nil, func(p *simPacket) {
-					cc.report.ChurnDrops[p.chain]++
-				}); rerr != nil {
-					return rerr
-				}
-				cc.markPost(pd.atSec, res.Egressed)
-				obs.C("lemur_sim_admissions_total").Inc()
-			case churn.Retire:
-				nextRes, rerr := placer.Retire(tb.D.Result, tb.D.Input, []int{pd.slot})
-				if rerr != nil {
-					return rerr
-				}
-				rep, rerr := tb.D.RetireChains(nextRes, []int{pd.slot})
-				if rerr != nil {
-					return rerr
-				}
-				cc.report.RewireSummaries = append(cc.report.RewireSummaries, rep.String())
-				cc.report.RetiredAtSec[pd.slot] = pd.atSec
-				if rerr := rebuildAndMigrate(nil, nil, func(p *simPacket) {
-					cc.report.ChurnDrops[p.chain]++
-				}); rerr != nil {
-					return rerr
-				}
-				cc.markPost(pd.atSec, res.Egressed)
-				obs.C("lemur_sim_retirements_total").Inc()
-			}
-		}
-		return nil
-	}
-
-	for step := 0; step < steps; step++ {
-		now := float64(step) * cfg.StepSec
-		env.NowSec = now
-		if fc != nil {
-			if err := applyFaults(now); err != nil {
-				return nil, err
-			}
-		}
-		if cc != nil {
-			if err := applyChurn(now); err != nil {
-				return nil, err
-			}
-		}
-		for i := 0; i < ix.nPrimary; i++ {
-			c := credit[i] + budget[i]
-			if max := 2 * budget[i]; c > max {
-				c = max
-			}
-			credit[i] = c
-		}
-		// Step-start credit, to derive how much of each budget this step spends.
-		copy(stepCredit, credit[:ix.nPrimary])
-		// Drain queues first (FIFO), oldest packets retain their wait time.
-		// Serving one subgroup's backlog back-to-back keeps its pipeline
-		// (and NF state) hot across the batch.
-		for pi := 0; pi < ix.nPrimary; pi++ {
-			r := &rings[pi]
-			qDepthH[pi].Observe(float64(r.n))
-			if r.n == 0 {
-				continue
-			}
-			pl := ix.entries[pi].pipe
-			c := cost[pi]
-			n0 := r.n
-			served := 0
-			for k := 0; k < n0; k++ {
-				if credit[pi] < c {
-					break
-				}
-				credit[pi] -= c
-				p := r.at(k)
-				p.queuedSec += now - p.enqueuedSec // actual wait since this park
-				if cfg.debugCheckDelays && p.queuedSec > now-p.bornSec+1e-9 {
-					return nil, fmt.Errorf("runtime: queue delay %.9f exceeds packet lifetime %.9f",
-						p.queuedSec, now-p.bornSec)
-				}
-				qDelayH[pi].Observe(p.queuedSec)
-				served++
-				if _, err := resume(p, pl, now); err != nil {
-					return nil, err
-				}
-			}
-			r.popServed(served)
-		}
-		// New arrivals, injected in per-chain bursts over pooled buffers.
-		for ci := range offered {
-			acc[ci] += offered[ci] / frameBits / cfg.Scale * cfg.StepSec
-			for acc[ci] >= 1 {
-				acc[ci]--
-				frame := gens[ci].NextInto(getBuf(), now)
-				res.Injected[ci]++
-				injC[ci].Inc()
-				p := getPkt()
-				p.chain, p.frame, p.bornSec, p.queuedSec = ci, frame, now, 0
-				if _, err := advance(p, now); err != nil {
-					return nil, err
-				}
-			}
-		}
-		// Per-core cycle-budget utilization this step: the fraction of the
-		// step's credit (budget plus bounded carry-over) actually consumed.
-		// Cores of one subgroup share uniformly, so they record the same value.
-		for pi := 0; pi < ix.nPrimary; pi++ {
-			if stepCredit[pi] <= 0 {
-				continue
-			}
-			util := (stepCredit[pi] - credit[pi]) / stepCredit[pi]
-			for _, h := range coreUtilH[pi] {
-				h.Observe(util)
-			}
-		}
-		if cc != nil {
-			cc.noteFirstEgress(now+cfg.StepSec, res.Egressed)
-		}
-	}
+	eng.mergeShards()
 
 	if fc != nil {
 		fc.finalize(res, tb, &cfg, frameBits)
 	}
 	if cc != nil {
-		cc.finalize(res, tb, &cfg, frameBits, offered)
+		cc.finalize(res, tb, &cfg, frameBits, eng.offered)
 	}
 	tb.syncStateGauges()
+	offered = eng.offered // admissions may have grown the chain set
 	res.P99QueueDelaySec = make([]float64, len(offered))
 	for ci := range offered {
 		if res.Injected[ci] > 0 {
-			res.DropRate[ci] = float64(dropped[ci]) / float64(res.Injected[ci])
+			res.DropRate[ci] = float64(eng.dropped[ci]) / float64(res.Injected[ci])
 		}
 		res.AchievedBps[ci] = float64(res.Egressed[ci]) * frameBits * cfg.Scale / cfg.DurationSec
 		if n := res.Egressed[ci]; n > 0 {
-			res.AvgQueueDelaySec[ci] = queueDelay[ci] / float64(n)
-			s := delaySamples[ci]
+			res.AvgQueueDelaySec[ci] = eng.queueDelay[ci] / float64(n)
+			s := eng.delaySamples[ci]
 			res.P99QueueDelaySec[ci] = quantileSelect(s, (len(s)*99)/100)
 		}
 	}

@@ -1,0 +1,318 @@
+package runtime
+
+import (
+	"strconv"
+
+	"lemur/internal/chaos"
+	"lemur/internal/churn"
+	"lemur/internal/nfgraph"
+	"lemur/internal/obs"
+	"lemur/internal/placer"
+)
+
+// The engine's control plane: fault and churn schedules fire at step
+// boundaries and may rewire the deployment mid-run. In parallel runs these
+// methods execute only in the coordinator's serial section between epoch
+// barriers (runParallelEpochs), using shard 0's arena pools, and any
+// rewire re-partitions the shards before the next epoch starts.
+
+// rebuildAndMigrate swaps the simulator's accounting state after any
+// mid-run rewire (failover, admission, or retirement): fresh index and
+// cost/budget/credit arrays with pinned entries carried across, parked
+// packets migrated to their (pinned) subgroups' new entries by
+// bess-subgroup identity, per-subgroup metric handles re-hoisted, and — in
+// parallel runs — the shard partition rebuilt for the new steering graph.
+// Packets with no surviving entry are handed to onOrphan and dropped, as a
+// real reconfiguration loses them.
+func (eng *simEngine) rebuildAndMigrate(capFactor, costFactor map[string]float64, onOrphan func(*simPacket)) error {
+	cfg := eng.cfg
+	sh := eng.shards[0]
+	newIx, nCost, nBudget, nCredit, rerr := rebuildSimArrays(eng.tb, capFactor, costFactor, cfg, eng.rng, eng.ix, eng.cost, eng.budget, eng.credit)
+	if rerr != nil {
+		return rerr
+	}
+	newRings := make([]packetRing, len(newIx.entries))
+	for i := range newRings {
+		newRings[i].buf = make([]*simPacket, cfg.QueueCap)
+	}
+	for i := range eng.ix.entries {
+		r := &eng.rings[i]
+		n0 := r.n
+		if n0 == 0 {
+			continue
+		}
+		tgt := int32(-1)
+		if ni, ok := newIx.idxOf[eng.ix.entries[i].sub]; ok {
+			tgt = ni
+		}
+		for k := 0; k < n0; k++ {
+			p := r.at(k)
+			if tgt >= 0 && newRings[tgt].n < cfg.QueueCap {
+				newRings[tgt].push(p)
+			} else {
+				onOrphan(p)
+				eng.die(sh, p, p.frame)
+			}
+		}
+		r.popServed(n0)
+	}
+	eng.ix, eng.cost, eng.budget, eng.credit, eng.rings = newIx, nCost, nBudget, nCredit, newRings
+	eng.stepCredit = make([]float64, newIx.nPrimary)
+	if eng.part != nil {
+		eng.part = buildSimPartition(eng.tb.D, newIx, len(eng.offered), len(eng.shards))
+		for i, s := range eng.shards {
+			if i < eng.part.workers {
+				s.prims, s.chains = eng.part.prims[i], eng.part.chains[i]
+			} else {
+				s.prims, s.chains = nil, nil
+			}
+		}
+	} else {
+		eng.assignSerial()
+	}
+	eng.hoistHandles()
+	return nil
+}
+
+// applyFaults fires due chaos events at a step boundary: crashes drain
+// and blackhole their device, degrades/overloads rescale budgets/costs,
+// and a matured detection+reconfiguration window runs the incremental
+// Replace→Rewire and swaps the simulator's accounting state in place —
+// parked packets migrate to their (pinned) subgroups' new entries by
+// bess-subgroup identity; packets of re-placed chains are dropped, as a
+// real reconfiguration loses them.
+func (eng *simEngine) applyFaults(now float64) error {
+	fc, ix, sh := eng.fc, eng.ix, eng.shards[0]
+	for fc.next < len(fc.events) && fc.events[fc.next].AtSec <= now+1e-12 {
+		ev := fc.events[fc.next]
+		fc.next++
+		fc.report.Events = append(fc.report.Events, ev.String())
+		switch ev.Kind {
+		case chaos.Crash:
+			if fc.dead[ev.Target] {
+				continue
+			}
+			fc.failed[ev.Target] = true
+			for dev := range placer.NewNodeSet(ev.Target).Expand(eng.in.Topo) {
+				fc.dead[dev] = true
+			}
+			// Chains severed now: their placement references a dead device.
+			for _, ci := range placer.AffectedChains(eng.in, eng.tb.D.Result, fc.dead) {
+				if fc.downSince[ci] < 0 {
+					fc.downSince[ci] = ev.AtSec
+				}
+			}
+			// In-flight packets parked on the dead device drop; its
+			// subgroups stop serving.
+			for i := range ix.entries {
+				e := &ix.entries[i]
+				host := ""
+				switch {
+				case e.srv != nil:
+					host = e.srv.Name
+				case e.pipe != nil:
+					host = e.pipe.Server.Name
+				}
+				if host == "" || !fc.dead[host] {
+					continue
+				}
+				r := &eng.rings[i]
+				for k := 0; k < r.n; k++ {
+					p := r.at(k)
+					fc.report.FaultDrops[p.chain]++
+					eng.die(sh, p, p.frame)
+				}
+				r.popServed(r.n)
+				if i < ix.nPrimary {
+					eng.budget[i], eng.credit[i] = 0, 0
+				}
+			}
+			fc.rewireAt = ev.AtSec + fc.detect + fc.reconfig
+		case chaos.LinkDegrade:
+			fc.capFactor[ev.Target] = mult(fc.capFactor, ev.Target) * ev.Factor
+			for i := 0; i < ix.nPrimary; i++ {
+				if ix.entries[i].srv.Name == ev.Target {
+					eng.budget[i] *= ev.Factor
+				}
+			}
+			fc.markPost(ev.AtSec, eng.res.Egressed)
+		case chaos.NFOverload:
+			fc.costFactor[ev.Target] = mult(fc.costFactor, ev.Target) * ev.Factor
+			for i := 0; i < ix.nPrimary; i++ {
+				if ix.entries[i].srv.Name == ev.Target {
+					eng.cost[i] *= ev.Factor
+				}
+			}
+			fc.markPost(ev.AtSec, eng.res.Egressed)
+		}
+	}
+	if fc.rewireAt >= 0 && now+1e-12 >= fc.rewireAt {
+		at := fc.rewireAt
+		fc.rewireAt = -1
+		prev := eng.tb.D.Result
+		nextRes, rerr := placer.Replace(prev, eng.in, fc.failed)
+		if rerr != nil {
+			fc.report.ReplaceError = rerr.Error()
+			fc.markPost(at, eng.res.Egressed)
+			return nil // severed chains stay down
+		}
+		affected := placer.AffectedChains(eng.in, prev, fc.dead)
+		rep, rerr := eng.tb.D.Rewire(nextRes, affected)
+		if rerr != nil {
+			fc.report.ReplaceError = rerr.Error()
+			fc.markPost(at, eng.res.Egressed)
+			return nil
+		}
+		fc.report.RewireSummary = rep.String()
+		if rerr := eng.rebuildAndMigrate(fc.capFactor, fc.costFactor, func(p *simPacket) {
+			fc.report.FaultDrops[p.chain]++
+		}); rerr != nil {
+			return rerr
+		}
+		for _, ci := range affected {
+			if fc.downSince[ci] >= 0 {
+				fc.report.DowntimeSec[ci] += at - fc.downSince[ci]
+				fc.downSince[ci] = -1
+			}
+		}
+		fc.markPost(at, eng.res.Egressed)
+		obs.C("lemur_sim_failovers_total").Inc()
+	}
+	return nil
+}
+
+// liveSlot resolves a chain name to its running (non-retired) slot in
+// the current deployment, or -1.
+func (eng *simEngine) liveSlot(name string) int {
+	for ci, g := range eng.tb.D.Input.Chains {
+		if g.Chain.Name == name && !eng.tb.D.Result.IsRetired(ci) {
+			return ci
+		}
+	}
+	return -1
+}
+
+// applyChurn fires due churn requests at a step boundary and lands the
+// ones whose detection+reconfiguration window has matured. A retirement
+// stops the chain's offered load at the request (the tenant has left)
+// and reclaims resources at the landing; an admission solves at the
+// landing — placer.Admit against the then-current deployment — so
+// overlapping events always see fresh state. Only pin-preserving
+// admission verdicts are applied; anything else is recorded as a
+// rejection, never a disruptive mid-run repack.
+func (eng *simEngine) applyChurn(now float64) error {
+	cc, cfg := eng.cc, eng.cfg
+	for cc.next < len(cc.events) && cc.events[cc.next].AtSec <= now+1e-12 {
+		ev := cc.events[cc.next]
+		cc.next++
+		cc.report.Events = append(cc.report.Events, ev.String())
+		switch ev.Kind {
+		case churn.Admit:
+			cc.pending = append(cc.pending, pendingChurn{
+				kind: churn.Admit, atSec: ev.AtSec + cc.detect + cc.reconfig,
+				reqSec: ev.AtSec, name: ev.Chain,
+			})
+		case churn.Retire:
+			slot := eng.liveSlot(ev.Chain)
+			if slot < 0 {
+				cc.reject(ev, "no such running chain")
+				continue
+			}
+			if cc.pendingRetire(slot) {
+				cc.reject(ev, "already retiring")
+				continue
+			}
+			eng.offered[slot] = 0
+			cc.pending = append(cc.pending, pendingChurn{
+				kind: churn.Retire, atSec: ev.AtSec + cc.detect + cc.reconfig,
+				reqSec: ev.AtSec, name: ev.Chain, slot: slot,
+			})
+		}
+	}
+	for len(cc.pending) > 0 && cc.pending[0].atSec <= now+1e-12 {
+		pd := cc.pending[0]
+		cc.pending = cc.pending[1:]
+		reqEv := churn.Event{Kind: pd.kind, Chain: pd.name, AtSec: pd.reqSec}
+		switch pd.kind {
+		case churn.Admit:
+			if eng.liveSlot(pd.name) >= 0 {
+				cc.reject(reqEv, "chain already running")
+				continue
+			}
+			nOld := len(eng.tb.D.Input.Chains)
+			grown := *eng.tb.D.Input
+			grown.Chains = make([]*nfgraph.Graph, nOld+1)
+			copy(grown.Chains, eng.tb.D.Input.Chains)
+			grown.Chains[nOld] = cc.catalog[pd.name]
+			newIn := &grown
+			arep, aerr := placer.Admit(eng.tb.D.Result, newIn, []int{nOld})
+			if aerr != nil {
+				cc.reject(reqEv, aerr.Error())
+				continue
+			}
+			if arep.Outcome != placer.AdmitIncremental {
+				reason := arep.Outcome.String()
+				if arep.IncrementalReason != "" {
+					reason += ": " + arep.IncrementalReason
+				}
+				cc.reject(reqEv, reason)
+				continue
+			}
+			rep, rerr := eng.tb.D.AdmitChains(newIn, arep.Result, []int{nOld})
+			if rerr != nil {
+				return rerr
+			}
+			cc.report.RewireSummaries = append(cc.report.RewireSummaries, rep.String())
+			// Grow every per-chain engine array for the new tail slot.
+			rate := arep.Result.ChainRates[nOld]
+			eng.offered = append(eng.offered, rate)
+			eng.res.OfferedBps = append(eng.res.OfferedBps, rate)
+			eng.res.AchievedBps = append(eng.res.AchievedBps, 0)
+			eng.res.DropRate = append(eng.res.DropRate, 0)
+			eng.res.AvgQueueDelaySec = append(eng.res.AvgQueueDelaySec, 0)
+			eng.res.Injected = append(eng.res.Injected, 0)
+			eng.res.Egressed = append(eng.res.Egressed, 0)
+			eng.dropped = append(eng.dropped, 0)
+			eng.queueDelay = append(eng.queueDelay, 0)
+			eng.acc = append(eng.acc, 0)
+			expect := int(rate/eng.frameBits/cfg.Scale*(cfg.DurationSec-now)) + 16
+			eng.delaySamples = append(eng.delaySamples, make([]float64, 0, expect))
+			gen, gerr := newChainGen(newIn.Chains[nOld].Chain.Aggregate, nOld, cfg)
+			if gerr != nil {
+				return gerr
+			}
+			eng.gens = append(eng.gens, gen)
+			lbl := obs.L("chain", strconv.Itoa(nOld))
+			eng.injC = append(eng.injC, obs.C("lemur_sim_injected_total", lbl))
+			eng.egrC = append(eng.egrC, obs.C("lemur_sim_egressed_total", lbl))
+			eng.drpC = append(eng.drpC, obs.C("lemur_sim_dropped_total", lbl))
+			cc.growChain(pd.reqSec, pd.atSec)
+			if rerr := eng.rebuildAndMigrate(nil, nil, func(p *simPacket) {
+				cc.report.ChurnDrops[p.chain]++
+			}); rerr != nil {
+				return rerr
+			}
+			cc.markPost(pd.atSec, eng.res.Egressed)
+			obs.C("lemur_sim_admissions_total").Inc()
+		case churn.Retire:
+			nextRes, rerr := placer.Retire(eng.tb.D.Result, eng.tb.D.Input, []int{pd.slot})
+			if rerr != nil {
+				return rerr
+			}
+			rep, rerr := eng.tb.D.RetireChains(nextRes, []int{pd.slot})
+			if rerr != nil {
+				return rerr
+			}
+			cc.report.RewireSummaries = append(cc.report.RewireSummaries, rep.String())
+			cc.report.RetiredAtSec[pd.slot] = pd.atSec
+			if rerr := eng.rebuildAndMigrate(nil, nil, func(p *simPacket) {
+				cc.report.ChurnDrops[p.chain]++
+			}); rerr != nil {
+				return rerr
+			}
+			cc.markPost(pd.atSec, eng.res.Egressed)
+			obs.C("lemur_sim_retirements_total").Inc()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,535 @@
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync"
+
+	"lemur/internal/bess"
+	"lemur/internal/nf"
+	"lemur/internal/nsh"
+	"lemur/internal/obs"
+	"lemur/internal/packet"
+	"lemur/internal/pisa"
+	"lemur/internal/placer"
+)
+
+// simShard is one worker's private slice of a simulation run: its own NF
+// environment (with a per-shard rng stream), switch decode scratch, packet
+// freelist and frame-buffer pool, optional private metrics registry, and
+// the primary entries and chain slots it owns. The serial engine is the
+// degenerate case: one shard owning everything.
+type simShard struct {
+	id      int
+	env     *nf.Env
+	scratch packet.Packet
+
+	freePkts []*simPacket
+	freeBufs [][]byte
+
+	// reg is the shard's private metrics registry, merged into the default
+	// registry in shard-index order when the run ends. Non-nil only for
+	// parallel runs with a fixed partition (no faults, no churn): there
+	// every hoisted series is wholly owned by one shard for the whole run,
+	// so merging its privately accumulated state is exact. Runs that can
+	// re-partition mid-run (failover, churn) keep handles on the shared
+	// default registry instead — continuing the same accumulator across an
+	// ownership change preserves the serial fold where a merge could not.
+	reg *obs.Registry
+
+	prims  []int32
+	chains []int32
+}
+
+func (sh *simShard) getPkt() *simPacket {
+	if n := len(sh.freePkts); n > 0 {
+		p := sh.freePkts[n-1]
+		sh.freePkts = sh.freePkts[:n-1]
+		return p
+	}
+	return &simPacket{}
+}
+
+func (sh *simShard) putPkt(p *simPacket) {
+	p.frame = nil
+	sh.freePkts = append(sh.freePkts, p)
+}
+
+func (sh *simShard) getBuf() []byte {
+	if n := len(sh.freeBufs); n > 0 {
+		b := sh.freeBufs[n-1]
+		sh.freeBufs = sh.freeBufs[:n-1]
+		return b
+	}
+	return nil
+}
+
+func (sh *simShard) putBuf(b []byte) {
+	if cap(b) > 0 {
+		sh.freeBufs = append(sh.freeBufs, b[:0])
+	}
+}
+
+// simEngine is the state of one Simulate run, shared by its shards. Fields
+// a shard touches during a step are either read-only for the step, indexed
+// by an entry or chain slot the shard owns, or (the ToR switch) internally
+// atomic, so the parallel drivers need no locks inside a step.
+type simEngine struct {
+	tb  *Testbed
+	cfg *SimConfig
+	in  *placer.Input
+	ix  *simIndex
+	fc  *faultCtx
+	cc  *churnCtx
+	rng *rand.Rand
+
+	offered []float64
+	gens    []frameSource
+
+	cost, budget, credit []float64
+	rings                []packetRing
+	stepCredit           []float64
+
+	res          *SimResult
+	dropped      []int
+	queueDelay   []float64
+	delaySamples [][]float64
+	acc          []float64
+	frameBits    float64
+	steps        int
+
+	qDepthH, qDelayH []*obs.Histogram
+	coreUtilH        [][]*obs.Histogram
+	injC, egrC, drpC []*obs.Counter
+
+	// part is nil for serial runs; shards then degenerate to shards[0]
+	// owning every primary and chain.
+	part   *simPartition
+	shards []*simShard
+}
+
+// regForOwner picks the registry a hoisted handle accumulates into: the
+// owner shard's private registry when the run uses them, the shared
+// default registry otherwise.
+func (eng *simEngine) regForOwner(owner int32) *obs.Registry {
+	if eng.part != nil {
+		if sh := eng.shards[owner]; sh.reg != nil {
+			return sh.reg
+		}
+	}
+	return obs.Default()
+}
+
+// hoistHandles (re)builds the per-subgroup and per-core metric handles so
+// the step loop pays one atomic branch per observation. Handle slices are
+// indexed in primaries (sorted) order, keeping observation order — and
+// therefore histogram float sums — deterministic for a fixed seed. A
+// mid-run rewire re-hoists them for the new primary set.
+func (eng *simEngine) hoistHandles() {
+	ix := eng.ix
+	eng.qDepthH = make([]*obs.Histogram, ix.nPrimary)
+	eng.qDelayH = make([]*obs.Histogram, ix.nPrimary)
+	eng.coreUtilH = make([][]*obs.Histogram, ix.nPrimary)
+	for i := 0; i < ix.nPrimary; i++ {
+		psg := ix.entries[i].psg
+		reg := obs.Default()
+		if eng.part != nil {
+			reg = eng.regForOwner(eng.part.ownerOfEntry[i])
+		}
+		eng.qDepthH[i] = reg.Histogram("lemur_sim_queue_depth", obs.L("subgroup", psg.Name()))
+		eng.qDelayH[i] = reg.Histogram("lemur_sim_queue_delay_seconds", obs.L("subgroup", psg.Name()))
+		for _, cs := range eng.tb.D.Shares[psg] {
+			eng.coreUtilH[i] = append(eng.coreUtilH[i], reg.Histogram("lemur_bess_core_utilization",
+				obs.L("server", psg.Server), obs.L("core", strconv.Itoa(cs.Core))))
+		}
+	}
+}
+
+// hoistChainCounters builds the per-chain injected/egressed/dropped
+// counters, each on its owning shard's registry (or the default one).
+func (eng *simEngine) hoistChainCounters() {
+	eng.injC = make([]*obs.Counter, len(eng.offered))
+	eng.egrC = make([]*obs.Counter, len(eng.offered))
+	eng.drpC = make([]*obs.Counter, len(eng.offered))
+	for ci := range eng.offered {
+		reg := obs.Default()
+		if eng.part != nil {
+			reg = eng.regForOwner(eng.part.ownerOfChain[ci])
+		}
+		lbl := obs.L("chain", strconv.Itoa(ci))
+		eng.injC[ci] = reg.Counter("lemur_sim_injected_total", lbl)
+		eng.egrC[ci] = reg.Counter("lemur_sim_egressed_total", lbl)
+		eng.drpC[ci] = reg.Counter("lemur_sim_dropped_total", lbl)
+	}
+}
+
+// assignSerial points shard 0 at every primary and chain slot.
+func (eng *simEngine) assignSerial() {
+	sh := eng.shards[0]
+	sh.prims = sh.prims[:0]
+	for i := 0; i < eng.ix.nPrimary; i++ {
+		sh.prims = append(sh.prims, int32(i))
+	}
+	sh.chains = sh.chains[:0]
+	for ci := range eng.offered {
+		sh.chains = append(sh.chains, int32(ci))
+	}
+}
+
+// mergeShards folds per-shard registries into the default registry, in
+// shard-index order. A no-op for runs hoisted on the default registry.
+func (eng *simEngine) mergeShards() {
+	for _, sh := range eng.shards {
+		if sh.reg != nil {
+			obs.Default().Merge(sh.reg)
+		}
+	}
+}
+
+func (eng *simEngine) drop(ci int) {
+	eng.dropped[ci]++
+	eng.drpC[ci].Inc()
+}
+
+// egress/die finalize a packet and recycle its arena resources into the
+// executing shard's pools.
+func (eng *simEngine) egress(sh *simShard, p *simPacket, frame []byte) {
+	eng.res.Egressed[p.chain]++
+	eng.egrC[p.chain].Inc()
+	eng.queueDelay[p.chain] += p.queuedSec
+	eng.delaySamples[p.chain] = append(eng.delaySamples[p.chain], p.queuedSec)
+	sh.putBuf(frame)
+	sh.putPkt(p)
+}
+
+func (eng *simEngine) die(sh *simShard, p *simPacket, frame []byte) {
+	eng.drop(p.chain)
+	sh.putBuf(frame)
+	sh.putPkt(p)
+}
+
+// advance walks a packet from the switch until it egresses, drops, or
+// parks in a subgroup queue. All hops run in place over the packet's
+// pooled buffer; the base-pointer checks catch NFs that swap buffers and
+// retire the orphaned one to the pool. In parallel runs every subgroup and
+// NIC the walk touches must belong to the executing shard — the partition
+// guarantees it, and the ownership assertions fail loudly if a steering
+// update ever breaks that.
+func (eng *simEngine) advance(sh *simShard, p *simPacket, now float64) (parked bool, err error) {
+	cfg := eng.cfg
+	frame := p.frame
+	for hop := 0; hop < maxWalkHops; hop++ {
+		out, fwd, perr := eng.tb.D.Switch.ProcessFrameInto(&sh.scratch, frame, sh.env)
+		if perr != nil {
+			return false, perr
+		}
+		switch fwd.Kind {
+		case pisa.Egress:
+			eng.egress(sh, p, out)
+			return false, nil
+		case pisa.Dropped:
+			eng.die(sh, p, frame)
+			return false, nil
+		case pisa.Continue:
+			if &out[0] != &frame[0] {
+				sh.putBuf(frame)
+			}
+			frame = out
+			continue
+		case pisa.ToServer:
+			if eng.fc != nil && eng.fc.dead[fwd.Target] {
+				// Blackhole: steered into a crashed server before the
+				// reconfigured rules landed.
+				eng.fc.report.FaultDrops[p.chain]++
+				eng.die(sh, p, frame)
+				return false, nil
+			}
+			pl := eng.tb.D.Pipelines[fwd.Target]
+			if pl == nil {
+				return false, fmt.Errorf("runtime: no pipeline %q", fwd.Target)
+			}
+			if &out[0] != &frame[0] {
+				sh.putBuf(frame)
+			}
+			frame = out
+			spi, si, terr := nsh.Tag(frame)
+			if terr != nil {
+				return false, terr
+			}
+			idx := eng.ix.lookup(pl, spi, si)
+			if idx < 0 {
+				return false, fmt.Errorf("runtime: no subgroup for spi=%d si=%d", spi, si)
+			}
+			if eng.part != nil && eng.part.ownerOfEntry[idx] != int32(sh.id) {
+				return false, fmt.Errorf("runtime: shard %d touched subgroup entry %d owned by shard %d (partition bug)",
+					sh.id, idx, eng.part.ownerOfEntry[idx])
+			}
+			c := eng.cost[idx]
+			if c == 0 {
+				c = eng.ix.entries[idx].sub.CyclesPerPkt
+			}
+			if eng.credit[idx] < c {
+				// Out of budget this step: park the packet.
+				r := &eng.rings[idx]
+				if r.n >= cfg.QueueCap {
+					eng.die(sh, p, frame)
+					return false, nil
+				}
+				p.frame = frame
+				p.enqueuedSec = now
+				r.push(p)
+				return true, nil
+			}
+			eng.credit[idx] -= c
+			next, perr := pl.ProcessFrameInPlace(frame, sh.env)
+			if perr != nil {
+				return false, perr
+			}
+			if next == nil {
+				eng.die(sh, p, frame)
+				return false, nil
+			}
+			if &next[0] != &frame[0] {
+				sh.putBuf(frame)
+			}
+			frame = next
+		case pisa.ToNIC:
+			if eng.fc != nil && eng.fc.dead[fwd.Target] {
+				eng.fc.report.FaultDrops[p.chain]++
+				eng.die(sh, p, frame)
+				return false, nil
+			}
+			nic := eng.tb.D.NICs[fwd.Target]
+			if nic == nil {
+				return false, fmt.Errorf("runtime: no NIC %q", fwd.Target)
+			}
+			if eng.part != nil {
+				if ow, ok := eng.part.nicOwner[fwd.Target]; !ok || ow != int32(sh.id) {
+					return false, fmt.Errorf("runtime: shard %d processed NIC %q owned by shard %d (partition bug)",
+						sh.id, fwd.Target, ow)
+				}
+			}
+			if &out[0] != &frame[0] {
+				sh.putBuf(frame)
+			}
+			frame = out
+			next, perr := nic.ProcessFrameInPlace(frame, sh.env)
+			if perr != nil {
+				return false, perr
+			}
+			if next == nil {
+				eng.die(sh, p, frame)
+				return false, nil
+			}
+			if &next[0] != &frame[0] {
+				sh.putBuf(frame)
+			}
+			frame = next
+		default:
+			return false, fmt.Errorf("runtime: unsupported forward %v", fwd.Kind)
+		}
+	}
+	eng.die(sh, p, frame)
+	return false, nil
+}
+
+// resume continues a parked packet from its subgroup.
+func (eng *simEngine) resume(sh *simShard, p *simPacket, pl *bess.Pipeline, now float64) (bool, error) {
+	old := p.frame
+	next, perr := pl.ProcessFrameInPlace(old, sh.env)
+	if perr != nil {
+		return false, perr
+	}
+	if next == nil {
+		eng.die(sh, p, old)
+		return false, nil
+	}
+	if &next[0] != &old[0] {
+		sh.putBuf(old)
+	}
+	p.frame = next
+	return eng.advance(sh, p, now)
+}
+
+// stepShard runs one simulated step restricted to the shard's owned
+// primaries and chains, in the serial engine's exact order: credit refill,
+// queue drains (FIFO, oldest wait times retained, one subgroup's backlog
+// served back-to-back so its pipeline and NF state stay hot), new
+// arrivals in per-chain bursts over pooled buffers, then per-core
+// utilization. With one shard owning everything this IS the serial step;
+// with many, each shard executes the serial schedule's restriction to its
+// components, which touch disjoint state.
+func (eng *simEngine) stepShard(sh *simShard, now float64) error {
+	cfg := eng.cfg
+	sh.env.NowSec = now
+	// Credits carry over between steps (bounded to two quanta) so service
+	// capacity is not floored to whole packets per step; stepCredit keeps
+	// the step-start value to derive how much of the budget this step spent.
+	for _, pi := range sh.prims {
+		c := eng.credit[pi] + eng.budget[pi]
+		if max := 2 * eng.budget[pi]; c > max {
+			c = max
+		}
+		eng.credit[pi] = c
+		eng.stepCredit[pi] = c
+	}
+	for _, pi := range sh.prims {
+		r := &eng.rings[pi]
+		eng.qDepthH[pi].Observe(float64(r.n))
+		if r.n == 0 {
+			continue
+		}
+		pl := eng.ix.entries[pi].pipe
+		c := eng.cost[pi]
+		n0 := r.n
+		served := 0
+		for k := 0; k < n0; k++ {
+			if eng.credit[pi] < c {
+				break
+			}
+			eng.credit[pi] -= c
+			p := r.at(k)
+			p.queuedSec += now - p.enqueuedSec // actual wait since this park
+			if cfg.debugCheckDelays && p.queuedSec > now-p.bornSec+1e-9 {
+				return fmt.Errorf("runtime: queue delay %.9f exceeds packet lifetime %.9f",
+					p.queuedSec, now-p.bornSec)
+			}
+			eng.qDelayH[pi].Observe(p.queuedSec)
+			served++
+			if _, err := eng.resume(sh, p, pl, now); err != nil {
+				return err
+			}
+		}
+		r.popServed(served)
+	}
+	for _, ci := range sh.chains {
+		eng.acc[ci] += eng.offered[ci] / eng.frameBits / cfg.Scale * cfg.StepSec
+		for eng.acc[ci] >= 1 {
+			eng.acc[ci]--
+			frame := eng.gens[ci].NextInto(sh.getBuf(), now)
+			eng.res.Injected[ci]++
+			eng.injC[ci].Inc()
+			p := sh.getPkt()
+			p.chain, p.frame, p.bornSec, p.queuedSec = int(ci), frame, now, 0
+			if _, err := eng.advance(sh, p, now); err != nil {
+				return err
+			}
+		}
+	}
+	// Per-core cycle-budget utilization this step: the fraction of the
+	// step's credit (budget plus bounded carry-over) actually consumed.
+	// Cores of one subgroup share uniformly, so they record the same value.
+	for _, pi := range sh.prims {
+		if eng.stepCredit[pi] <= 0 {
+			continue
+		}
+		util := (eng.stepCredit[pi] - eng.credit[pi]) / eng.stepCredit[pi]
+		for _, h := range eng.coreUtilH[pi] {
+			h.Observe(util)
+		}
+	}
+	return nil
+}
+
+// runSerial is the single-goroutine driver: one shard, every step,
+// fault/churn schedules applied inline at step boundaries. Byte-identical
+// to the pre-parallel engine.
+func (eng *simEngine) runSerial() error {
+	sh := eng.shards[0]
+	for step := 0; step < eng.steps; step++ {
+		now := float64(step) * eng.cfg.StepSec
+		if eng.fc != nil {
+			if err := eng.applyFaults(now); err != nil {
+				return err
+			}
+		}
+		if eng.cc != nil {
+			if err := eng.applyChurn(now); err != nil {
+				return err
+			}
+		}
+		if err := eng.stepShard(sh, now); err != nil {
+			return err
+		}
+		if eng.cc != nil {
+			eng.cc.noteFirstEgress(now+eng.cfg.StepSec, eng.res.Egressed)
+		}
+	}
+	return nil
+}
+
+// runParallelFree is the fault-free, churn-free parallel driver. The
+// partition is fixed for the whole run and shards share no mutable state,
+// so each worker runs every step of its components independently — no
+// barriers at all. Per-shard errors are collected and the lowest shard's
+// error wins, keeping even the failure mode deterministic.
+func (eng *simEngine) runParallelFree() error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(eng.shards))
+	for i := range eng.shards {
+		sh := eng.shards[i]
+		wg.Add(1)
+		go func(i int, sh *simShard) {
+			defer wg.Done()
+			for step := 0; step < eng.steps; step++ {
+				if err := eng.stepShard(sh, float64(step)*eng.cfg.StepSec); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i, sh)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runParallelEpochs is the barriered driver for runs with fault or churn
+// schedules: each step is an epoch. The coordinator first applies due
+// fault/churn events serially (these mutate shared steering state and may
+// re-partition the shards), then the shards execute the step concurrently,
+// then a barrier joins them before the next epoch's serial section. The
+// churn context's first-egress probe also runs in the serial section.
+func (eng *simEngine) runParallelEpochs() error {
+	errs := make([]error, len(eng.shards))
+	for step := 0; step < eng.steps; step++ {
+		now := float64(step) * eng.cfg.StepSec
+		if eng.fc != nil {
+			if err := eng.applyFaults(now); err != nil {
+				return err
+			}
+		}
+		if eng.cc != nil {
+			if err := eng.applyChurn(now); err != nil {
+				return err
+			}
+		}
+		var wg sync.WaitGroup
+		for i := range eng.shards {
+			sh := eng.shards[i]
+			if len(sh.prims) == 0 && len(sh.chains) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(i int, sh *simShard) {
+				defer wg.Done()
+				errs[i] = eng.stepShard(sh, now)
+			}(i, sh)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		if eng.cc != nil {
+			eng.cc.noteFirstEgress(now+eng.cfg.StepSec, eng.res.Egressed)
+		}
+	}
+	return nil
+}

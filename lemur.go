@@ -57,12 +57,13 @@ const (
 type Option func(*options)
 
 type options struct {
-	topoOpts []hw.TestbedOption
-	scheme   placer.Scheme
-	restrict map[string][]hw.Platform
-	seed     int64
-	parallel int
-	headroom int
+	topoOpts   []hw.TestbedOption
+	scheme     placer.Scheme
+	restrict   map[string][]hw.Platform
+	seed       int64
+	parallel   int
+	headroom   int
+	simWorkers int
 }
 
 // WithSmartNIC attaches a 40G eBPF SmartNIC to the first server.
@@ -114,6 +115,15 @@ func WithParallel(n int) Option {
 	return func(o *options) { o.parallel = n }
 }
 
+// WithSimWorkers splits every simulation run (Simulate, SimulateWithFaults,
+// SimulateChurn) across n worker shards that own disjoint connected
+// components of the deployment's steering graph. Results are byte-identical
+// at any value — like WithParallel, this is purely a wall-clock knob; 0 or
+// 1 keeps runs serial, and negative values fail the run.
+func WithSimWorkers(n int) Option {
+	return func(o *options) { o.simWorkers = n }
+}
+
 // WithAdmissionHeadroom reserves cores worker cores per server that the
 // placer's throughput-maximizing spare-core pour will not touch, keeping
 // budget free for chains admitted later (SimulateChurn, placer.Admit). The
@@ -142,6 +152,7 @@ func New(opts ...Option) *System {
 	sys.Seed = o.seed
 	sys.Parallel = o.parallel
 	sys.Headroom = o.headroom
+	sys.SimWorkers = o.simWorkers
 	return &System{sys: sys}
 }
 
@@ -168,7 +179,7 @@ func (s *System) Deploy() (*Deployment, error) {
 		return nil, err
 	}
 	d, _ := s.sys.Compile() // already cached by Deploy
-	return &Deployment{tb: tb, dep: d}, nil
+	return &Deployment{tb: tb, dep: d, workers: s.sys.SimWorkers}, nil
 }
 
 // Placement reports where every NF landed and what the chains will get.
@@ -276,6 +287,8 @@ func (p *Placement) Summary() string {
 type Deployment struct {
 	tb  *runtime.Testbed
 	dep *metacompiler.Deployment
+	// workers is the System's SimWorkers, threaded into every simulate run.
+	workers int
 }
 
 // TrafficReport summarizes a packet-walk verification.
@@ -440,6 +453,7 @@ func (s *System) SimulateChurn(loadFactor float64, schedule string) (*SimReport,
 	}
 	sim, err := tb.Simulate(offered, runtime.SimConfig{
 		Seed: tb.Seed, DurationSec: 0.5, Churn: plan, ChurnCatalog: catalog,
+		Workers: s.sys.SimWorkers,
 	})
 	if err != nil {
 		return nil, err
@@ -478,7 +492,7 @@ func (d *Deployment) simulate(loadFactor float64, plan *chaos.Plan) (*SimReport,
 	for i, r := range d.dep.Result.ChainRates {
 		offered[i] = r * loadFactor
 	}
-	sim, err := d.tb.Simulate(offered, runtime.SimConfig{Seed: d.tb.Seed, DurationSec: 0.5, Faults: plan})
+	sim, err := d.tb.Simulate(offered, runtime.SimConfig{Seed: d.tb.Seed, DurationSec: 0.5, Faults: plan, Workers: d.workers})
 	if err != nil {
 		return nil, err
 	}
