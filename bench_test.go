@@ -11,6 +11,7 @@ package lemur
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"lemur/internal/experiments"
 	"lemur/internal/hw"
@@ -291,6 +292,38 @@ func BenchmarkPlaceLemur(b *testing.B)           { benchPlace(b, placer.SchemeLe
 func BenchmarkPlaceLemurParallel(b *testing.B)   { benchPlace(b, placer.SchemeLemur, 4) }
 func BenchmarkPlaceOptimal(b *testing.B)         { benchPlace(b, placer.SchemeOptimal, 1) }
 func BenchmarkPlaceOptimalParallel(b *testing.B) { benchPlace(b, placer.SchemeOptimal, 4) }
+
+// TestPlaceOptimalCostGuard pins the Optimal scheme's cost envelope on the
+// BenchmarkPlaceOptimal fixture (four-chain set, δ=0.5, budget 2000): a
+// pruning, binder or bound regression that blows up search work fails CI
+// here instead of silently multiplying solve time. Ceilings carry ~2x
+// headroom over the measured baseline (~117 ms, ~725k allocs per solve);
+// the wall-clock bound is a slow-machine-tolerant hang guard.
+func TestPlaceOptimalCostGuard(t *testing.T) {
+	r := experiments.NewRunner(hw.NewPaperTestbed())
+	r.SkipMeasure = true
+	r.BruteForceBudget = 2000
+	r.Parallel = 1
+	solve := func() {
+		sr, _, err := r.RunSet([]int{1, 2, 3, 4}, 0.5, placer.SchemeOptimal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sr.Feasible {
+			t.Fatalf("infeasible: %s", sr.Reason)
+		}
+	}
+	start := time.Now()
+	allocs := testing.AllocsPerRun(3, solve)
+	perSolve := time.Since(start) / 4 // AllocsPerRun does one warmup + 3 runs
+	t.Logf("optimal solve: %.0f allocs, %s wall clock", allocs, perSolve)
+	if allocs > 1.5e6 {
+		t.Errorf("allocations per solve %.0f exceed the 1.5M guard", allocs)
+	}
+	if perSolve > 5*time.Second {
+		t.Errorf("solve took %s, over the 5s guard", perSolve)
+	}
+}
 
 func BenchmarkFeasibilitySummary(b *testing.B) {
 	r := experiments.NewRunner(hw.NewPaperTestbed())

@@ -108,6 +108,22 @@ go test -race -count=1 \
 echo "==> parallel simulation allocation guard"
 go test -run 'TestSimulateParallelAllocBudget' -count=1 ./internal/runtime
 
+# Branch-and-bound soundness: the Optimal placer's pruning/symmetry property
+# tests (byte-identity vs the exhaustive reference, budget semantics,
+# prune-order-independent reasons) and the place-scale sweep get a named
+# race pass so the search invariants cannot be skipped by test caching.
+echo "==> branch-and-bound soundness (race)"
+go test -race -count=1 \
+  -run 'TestBranchAndBoundMatchesExhaustiveProperty|TestBudgetCappedNeverBeatsExhaustive|TestOptimalSearchStatsDeterministic|TestSymmetryCollapseInvariant|TestFirstReasonPruneOrderIndependent|TestOptimalTruncationFlag' \
+  ./internal/placer
+go test -race -count=1 -run 'TestPlaceScaleSweep' ./internal/experiments
+
+# Placement cost guard: the Optimal solve on the benchmark fixture must stay
+# under its alloc and wall-clock ceilings (~2x headroom over baseline), so a
+# pruning or binder regression fails here instead of doubling solve time.
+echo "==> optimal placement cost guard"
+go test -run 'TestPlaceOptimalCostGuard' -count=1 .
+
 # Benchmark smoke: one iteration of the placement and simulator
 # micro-benchmarks proves the bench harness (and the -bench-out path it
 # shares) still compiles and runs.

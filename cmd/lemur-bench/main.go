@@ -25,6 +25,7 @@ import (
 	"lemur/internal/hw"
 	"lemur/internal/nf"
 	"lemur/internal/obs"
+	"lemur/internal/pisa"
 	"lemur/internal/placer"
 )
 
@@ -53,6 +54,8 @@ func main() {
 		coresOut    = flag.String("cores-out", "", "with -cores: also write the curve to this JSON path (BENCH_5.json)")
 		coresFlows  = flag.Int("cores-flows", 1_000_000, "with -cores: concurrent-flow population for the measured point")
 		coresPkts   = flag.Int("cores-pkts", 10_000_000, "with -cores: target packet count for the measured point")
+		placeScale  = flag.Bool("place-scale", false, "placement solve-time curve: 4..256 servers × chain counts, all schemes, with branch-and-bound search stats")
+		placeOut    = flag.String("place-scale-out", "", "with -place-scale: also write the curve to this JSON path (BENCH_6.json)")
 	)
 	flag.Parse()
 	if *simWorkers < 1 {
@@ -87,6 +90,8 @@ func main() {
 		runScale(*parallel, *simWorkers, *scaleOut)
 	case *cores:
 		runCores(*coresFlows, *coresPkts, *coresOut)
+	case *placeScale:
+		runPlaceScale(*parallel, *placeOut)
 	case *failover:
 		runFailover(*parallel, *simWorkers)
 	case *churnBench:
@@ -124,6 +129,9 @@ func writeMetrics() {
 	if metricsPath == "" {
 		return
 	}
+	// Gauges snapshot state rather than flow; refresh the compile-cache view
+	// so the exported file reflects cache effectiveness at exit.
+	pisa.SharedCache().SyncObs()
 	if err := obs.Default().WriteFiles(metricsPath); err != nil {
 		// The caller explicitly asked for this file; failing to produce it
 		// must not look like success.

@@ -20,6 +20,7 @@ import (
 	"lemur"
 	"lemur/internal/nfspec"
 	"lemur/internal/obs"
+	"lemur/internal/pisa"
 	"lemur/internal/trafficgen"
 )
 
@@ -99,6 +100,11 @@ func main() {
 		fatal(err)
 	}
 	fmt.Print(pl.Summary())
+	if pl.Truncated() {
+		fmt.Fprintf(os.Stderr,
+			"lemur: warning: Optimal search truncated by its budget (%d combinations unscored); the placement may be sub-optimal — raise the brute-force budget for an exhaustive answer\n",
+			pl.SkippedCombos())
+	}
 	if !pl.Feasible() {
 		writeMetrics()
 		os.Exit(1)
@@ -293,6 +299,9 @@ func writeMetrics() {
 	if metricsPath == "" {
 		return
 	}
+	// Gauges snapshot state rather than flow; refresh the compile-cache view
+	// so the exported file reflects cache effectiveness at exit.
+	pisa.SharedCache().SyncObs()
 	if err := obs.Default().WriteFiles(metricsPath); err != nil {
 		// The caller explicitly asked for this file; failing to produce it
 		// must not look like success.

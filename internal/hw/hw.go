@@ -258,6 +258,22 @@ func WithSingleSocket() TestbedOption {
 	}
 }
 
+// WithSwitchScale multiplies the ToR's pipeline resources (stages and the
+// per-stage SRAM/TCAM/table budgets) by factor — the aggregate abstraction
+// the placement-scale sweep uses for a multi-rack fabric whose leaf switches
+// pool into one logical PISA pipeline. factor < 1 is ignored.
+func WithSwitchScale(factor int) TestbedOption {
+	return func(t *Topology) {
+		if factor < 1 || t.Switch == nil {
+			return
+		}
+		t.Switch.Stages *= factor
+		t.Switch.SRAMPerStage *= factor
+		t.Switch.TCAMPerStage *= factor
+		t.Switch.TablesPerStage *= factor
+	}
+}
+
 // NewPaperTestbed builds the §5.1 topology: an Edgecore 100BF-32X Tofino ToR
 // (32x100G, 12-stage pipeline) and one dual-socket 8-core/socket 1.7 GHz
 // Xeon Bronze 3106 NF server with a single 40G Intel XL710 NIC on socket 0,

@@ -149,6 +149,33 @@ func (c *CompileCache) Compile(spec *hw.PISASpec, tables []LogicalTable) (*Binar
 	return bin, err
 }
 
+// Compile-cache effectiveness gauges. Counters already track hit/miss flow
+// (lemur_pisa_compile_cache_total); the gauges snapshot the cache's current
+// state — including the derived hit rate — so a -metrics-out file or a
+// Prometheus scrape shows cache effectiveness without post-processing.
+// Package-level handles: they describe the process-wide shared cache, the
+// one every placement stage check routes through.
+var (
+	gCacheHits      = obs.G("lemur_pisa_compile_cache_hits")
+	gCacheMisses    = obs.G("lemur_pisa_compile_cache_misses")
+	gCacheEvictions = obs.G("lemur_pisa_compile_cache_evictions")
+	gCacheEntries   = obs.G("lemur_pisa_compile_cache_entries")
+	gCacheHitRate   = obs.G("lemur_pisa_compile_cache_hit_rate")
+)
+
+// SyncObs publishes the cache's current Stats (hits, misses, evictions,
+// entries, hit rate) to the obs registry gauges. Call before exporting
+// metrics; gauges overwrite, so the last cache to sync wins — in practice
+// that is always the shared cache.
+func (c *CompileCache) SyncObs() {
+	st := c.Stats()
+	gCacheHits.Set(float64(st.Hits))
+	gCacheMisses.Set(float64(st.Misses))
+	gCacheEvictions.Set(float64(st.Evictions))
+	gCacheEntries.Set(float64(st.Entries))
+	gCacheHitRate.Set(st.HitRate())
+}
+
 // Stats snapshots the hit/miss/eviction counters.
 func (c *CompileCache) Stats() CacheStats {
 	c.mu.Lock()

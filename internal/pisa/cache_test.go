@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"lemur/internal/hw"
+	"lemur/internal/obs"
 )
 
 // randomTables draws a random dependency-ordered logical table list, sized so
@@ -164,4 +165,47 @@ func TestCacheConcurrent(t *testing.T) {
 		}(int64(w))
 	}
 	wg.Wait()
+}
+
+// TestCacheSyncObs: SyncObs must publish the cache's live Stats — including
+// the derived hit rate — to the registry gauges a -metrics-out snapshot
+// exports.
+func TestCacheSyncObs(t *testing.T) {
+	obs.Enable()
+	t.Cleanup(func() {
+		obs.Disable()
+		obs.Reset()
+	})
+	cache := NewCompileCache(0)
+	spec := hw.NewPaperTestbed().Switch
+	tables := randomTables(rand.New(rand.NewSource(77)))
+	if _, err := cache.Compile(spec, tables); err != nil { // miss
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // hits
+		if _, err := cache.Compile(spec, tables); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cache.SyncObs()
+
+	st := cache.Stats()
+	if st.Hits != 3 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("unexpected stats %+v", st)
+	}
+	checks := []struct {
+		name string
+		want float64
+	}{
+		{"lemur_pisa_compile_cache_hits", 3},
+		{"lemur_pisa_compile_cache_misses", 1},
+		{"lemur_pisa_compile_cache_evictions", 0},
+		{"lemur_pisa_compile_cache_entries", 1},
+		{"lemur_pisa_compile_cache_hit_rate", 0.75},
+	}
+	for _, c := range checks {
+		if got := obs.G(c.name).Value(); got != c.want {
+			t.Errorf("gauge %s = %v, want %v", c.name, got, c.want)
+		}
+	}
 }

@@ -3,6 +3,7 @@ package placer
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"strings"
 
@@ -10,100 +11,136 @@ import (
 	"lemur/internal/nfgraph"
 )
 
-// placeBruteForce is the paper's Optimal baseline: enumerate placement
-// patterns per chain, search core allocations, rank by LP-scored marginal
-// throughput, and consult the PISA compiler on the way (§3.2). Patterns are
-// deduplicated by their performance-relevant signature, and the cross-chain
-// search is bounded by BruteForceBudget with best-first ordering so the
-// bound bites last.
+// placeBruteForce is the paper's Optimal baseline (§3.2), implemented as a
+// best-first branch-and-bound search over cross-chain pattern combinations
+// instead of a budget-capped sweep:
 //
-// Enumeration is serial (cheap — the combinations are pattern-index tuples),
-// while candidate evaluation (server binding, subgroup derivation, stage
-// check, core allocation, LP) fans out over Input.Parallel workers in
-// chunks. Chunks are reduced in enumeration order with the serial sweep's
-// exact tie-breaks, so the chosen Result — and the firstReason reported on
-// full infeasibility — never depend on worker count or schedule.
+//   - Every per-chain pattern carries an admissible rate bound (see
+//     patternFeatures): no evaluation of that pattern — split or unsplit, any
+//     core allocation, any server binding — can exceed it. Prefix gains plus
+//     a best-remaining-gain suffix give an optimistic marginal for every
+//     partial combo.
+//   - A shared incumbent (the plain maximum marginal of every combo reduced
+//     so far) cuts subtrees whose optimistic marginal cannot beat it. The
+//     incumbent is only advanced inside the deterministic enumeration-order
+//     reduce, which makes pruning sound for the sticky ">best+1e-6" rule:
+//     the sticky best is always within 1e-6 of the plain maximum, so a
+//     pruned combo could never have displaced it.
+//   - Interchangeable chains (identical graphs, costs and SLOs on a
+//     hardware-uniform fleet) are canonicalized: within a class, pattern
+//     indices are forced non-decreasing with chain index, so the search
+//     visits one representative of every chain-permutation orbit. The
+//     exhaustive reference applies the same canonicalization, so results
+//     stay byte-identical by construction.
+//   - Mandatory t_min core demand prunes subtrees that provably overflow
+//     the rack, and a per-server capacity prefilter in bindComboServers
+//     rejects bindings before subgroup derivation (see serverBinder).
+//
+// Enumeration is serial; candidate evaluation fans out over Input.Parallel
+// workers in fixed-size chunks reduced in enumeration order, so the chosen
+// Result — and the firstReason reported on full infeasibility, which is
+// tracked by enumeration sequence number — never depend on worker count,
+// schedule, or which subtrees the incumbent happened to cut.
 func placeBruteForce(in *Input) (*Result, error) {
 	in.ensurePrep()
 	budget := in.BruteForceBudget
 	if budget <= 0 {
-		budget = 100000
+		budget = defaultBruteForceBudget
 	}
 
 	perChain := make([][]chainPattern, len(in.Chains))
+	st := &SearchStats{Combinations: 1}
 	for ci, g := range in.Chains {
 		pats, err := enumerateChainPatterns(in, g)
 		if err != nil {
 			return infeasible(SchemeOptimal, err.Error()), nil
 		}
-		// Best-first: optimistic throughput bound, descending.
-		sort.Slice(pats, func(a, b int) bool { return pats[a].bound > pats[b].bound })
+		// Best-first: largest admissible marginal contribution first, so the
+		// incumbent climbs fast and the bound bites early. The comparator is
+		// a strict weak order over deterministic inputs, so identical chains
+		// get identically ordered pattern lists (symmetry relies on it).
+		sort.Slice(pats, func(a, b int) bool {
+			if pats[a].gain != pats[b].gain {
+				return pats[a].gain > pats[b].gain
+			}
+			if pats[a].bound != pats[b].bound {
+				return pats[a].bound > pats[b].bound
+			}
+			return pats[a].sig < pats[b].sig
+		})
 		perChain[ci] = pats
+		st.Combinations *= float64(len(pats))
 	}
 
-	// Collect the cross-chain combinations (one pattern index per chain),
-	// depth-first in best-first order, pruning subtrees whose mandatory core
-	// demand already exceeds the rack, capped at the budget.
+	classPrev := symmetryClasses(in, perChain)
+
+	n := len(in.Chains)
 	totalCores := in.totalWorkerCores()
-	var combos [][]int
-	idx := make([]int, len(in.Chains))
-	var dfs func(ci, minCores int)
-	dfs = func(ci, minCores int) {
-		if len(combos) >= budget {
-			return
-		}
-		if minCores > totalCores {
-			return // prune: mandatory cores already exceed the rack
-		}
-		if ci == len(in.Chains) {
-			combos = append(combos, append([]int(nil), idx...))
-			return
-		}
-		for pi := range perChain[ci] {
-			idx[ci] = pi
-			dfs(ci+1, minCores+perChain[ci][pi].minCores)
-			if len(combos) >= budget {
-				return
+
+	// Suffix relaxations over the remaining chains: minimum t_min core
+	// demand (admissible floor — every evaluation allocates at least the
+	// bindServers-style demand) and maximum gain (admissible ceiling).
+	sufDemand := make([]int, n+1)
+	sufGain := make([]float64, n+1)
+	for ci := n - 1; ci >= 0; ci-- {
+		minD := int(^uint(0) >> 1)
+		maxG := 0.0
+		for _, p := range perChain[ci] {
+			if p.demand < minD {
+				minD = p.demand
+			}
+			if p.gain > maxG {
+				maxG = p.gain
 			}
 		}
+		sufDemand[ci] = sufDemand[ci+1] + minD
+		sufGain[ci] = sufGain[ci+1] + maxG
 	}
-	dfs(0, 0)
 
-	// Evaluate in bounded chunks so the candidate Results in flight stay
-	// proportional to the chunk, not the budget.
 	workers := in.workers()
-	chunk := 64 * workers
+	binder := newServerBinder(in)
+
 	type comboVerdict struct {
 		results [2]*Result // [no-splits, split-breaks]; nil when skipped
-		reason  string     // server-binding failure
+		reason  string     // binding prefilter rejection
 	}
-	verdicts := make([]comboVerdict, 0, chunk)
+	verdicts := make([]comboVerdict, bruteForceChunk)
+	combos := make([][]int, 0, bruteForceChunk)
+	comboSeq := make([]int64, 0, bruteForceChunk)
 
 	var best *Result
-	var firstReason string
-	note := func(reason string) {
-		if firstReason == "" {
-			firstReason = reason
+	// firstReason tracks the earliest infeasibility reason by enumeration
+	// sequence number, so the reported reason is a pure function of the
+	// input — independent of worker count and of which subtrees were cut.
+	firstReason := ""
+	firstSeq := int64(math.MaxInt64)
+	noteAt := func(seq int64, reason string) {
+		if reason != "" && seq < firstSeq {
+			firstSeq, firstReason = seq, reason
 		}
 	}
-	for start := 0; start < len(combos); start += chunk {
-		end := start + chunk
-		if end > len(combos) {
-			end = len(combos)
+
+	// The incumbent is the plain max marginal over every combo reduced so
+	// far — a strict enumeration-order prefix, advanced only here in the
+	// serial reduce, never by workers.
+	incumbent := math.Inf(-1)
+	haveIncumbent := false
+
+	flush := func() {
+		m := len(combos)
+		if m == 0 {
+			return
 		}
-		verdicts = verdicts[:end-start]
-		for i := range verdicts {
-			verdicts[i] = comboVerdict{}
-		}
-		runIndexed(end-start, workers, func(k int) {
+		runIndexed(m, workers, func(k int) {
+			v := &verdicts[k]
+			*v = comboVerdict{}
 			assign := make(map[*nfgraph.Node]Assign, len(in.prep.nodes))
-			for ci, pi := range combos[start+k] {
-				for n, a := range perChain[ci][pi].assign {
-					assign[n] = a
+			for ci, pi := range combos[k] {
+				for node, a := range perChain[ci][pi].assign {
+					assign[node] = a
 				}
 			}
-			v := &verdicts[k]
-			if reason, ok := bindServers(in, assign); !ok {
+			if reason, ok := binder.bind(in, perChain, combos[k], assign); !ok {
 				v.reason = reason
 				return
 			}
@@ -114,48 +151,191 @@ func placeBruteForce(in *Input) (*Result, error) {
 				v.results[vi] = finishSplit(in, assign, breaks, policyMarginal)
 			}
 		})
-		// Deterministic reduce in enumeration order.
-		for k := range verdicts {
+		// Deterministic reduce in enumeration order with the serial sweep's
+		// exact tie-breaks.
+		for k := 0; k < m; k++ {
 			v := &verdicts[k]
 			if v.reason != "" {
-				note(v.reason)
+				st.BindRejected++
+				mBBBindRejected.Inc()
+				noteAt(comboSeq[k], v.reason)
 				continue
 			}
+			st.Evaluated++
 			for _, res := range v.results {
 				if res == nil {
 					continue
 				}
 				if !res.Feasible {
-					note(res.Reason)
+					noteAt(comboSeq[k], res.Reason)
 					continue
 				}
 				if best == nil || res.Marginal > best.Marginal+1e-6 {
 					best = res
 				}
+				if !haveIncumbent || res.Marginal > incumbent {
+					incumbent, haveIncumbent = res.Marginal, true
+					st.IncumbentUpdates++
+					mBBIncumbent.Inc()
+				}
+			}
+		}
+		combos = combos[:0]
+		comboSeq = comboSeq[:0]
+	}
+
+	var (
+		seq      int64 // enumeration position: leaves and prune events
+		counting bool  // budget exhausted: count skipped combos only
+		skipped  int
+		abort    bool // skipped-combo count hit its cap: stop the walk
+	)
+	idx := make([]int, n)
+	var dfs func(ci, demand int, gain float64)
+	dfs = func(ci, demand int, gain float64) {
+		if abort {
+			return
+		}
+		if demand+sufDemand[ci] > totalCores {
+			seq++
+			st.DemandPruned++
+			if !counting {
+				mBBDemandPruned.Inc()
+				noteAt(seq, fmt.Sprintf(
+					"combined t_min core demand %d exceeds %d worker cores",
+					demand+sufDemand[ci], totalCores))
+			}
+			return
+		}
+		// Incumbent cut: optimistic marginal of the best completion cannot
+		// beat the plain max already reduced. Only sound once a feasible
+		// incumbent exists (<= not <: equal optimism still cannot win the
+		// sticky ">best+1e-6" comparison). ExhaustiveSearch disables it.
+		if haveIncumbent && !in.ExhaustiveSearch && gain+sufGain[ci] <= incumbent {
+			seq++
+			st.PrunedSubtrees++
+			if !counting {
+				mBBPruned.Inc()
+			}
+			return
+		}
+		if ci == n {
+			seq++
+			if counting {
+				skipped++
+				if skipped >= skippedCountCap {
+					abort = true
+				}
+				return
+			}
+			combos = append(combos, append([]int(nil), idx...))
+			comboSeq = append(comboSeq, seq)
+			if len(combos) == bruteForceChunk {
+				flush()
+			}
+			if !in.ExhaustiveSearch &&
+				st.Evaluated+st.BindRejected+len(combos) >= budget {
+				counting = true
+			}
+			return
+		}
+		floor := 0
+		if prev := classPrev[ci]; prev >= 0 {
+			// Symmetry canonicalization: chains of one interchangeability
+			// class take non-decreasing pattern indices. Every skipped index
+			// roots a subtree whose combos are chain-permutations of ones
+			// the canonical orbit representative covers.
+			floor = idx[prev]
+			if floor > 0 && !counting {
+				st.CollapsedSubtrees += floor
+				mBBCollapsed.Add(uint64(floor))
+			}
+		}
+		for pi := floor; pi < len(perChain[ci]); pi++ {
+			idx[ci] = pi
+			dfs(ci+1, demand+perChain[ci][pi].demand, gain+perChain[ci][pi].gain)
+			if abort {
+				return
 			}
 		}
 	}
+	dfs(0, 0, 0)
+	flush()
 
-	if best == nil {
+	res := best
+	if res == nil {
 		if firstReason == "" {
 			firstReason = "no feasible placement in search budget"
 		}
-		return infeasible(SchemeOptimal, firstReason), nil
+		res = infeasible(SchemeOptimal, firstReason)
 	}
-	return best, nil
+	// Truncated only when the budget actually left canonical combos
+	// unscored — hitting the budget on the last combo is not a truncation.
+	res.Truncated = skipped > 0
+	res.SkippedCombos = skipped
+	res.Search = st
+	return res, nil
 }
 
-// chainPattern is one deduplicated per-chain placement pattern.
+// defaultBruteForceBudget caps scored combinations when BruteForceBudget is
+// unset.
+const defaultBruteForceBudget = 100000
+
+// bruteForceChunk is the candidate-evaluation chunk size. It is fixed (not
+// worker-scaled) so the incumbent advances at the same enumeration points at
+// any Input.Parallel value, keeping SearchStats — not just the Result —
+// deterministic.
+const bruteForceChunk = 64
+
+// skippedCountCap bounds the post-budget counting walk so a truncated search
+// over an astronomically large space still terminates; SkippedCombos is
+// exact below the cap and a floor ("at least this many") at it.
+const skippedCountCap = 1 << 22
+
+// SearchStats summarizes the Optimal scheme's branch-and-bound search. All
+// counts are deterministic for a given Input at any Parallel worker count.
+type SearchStats struct {
+	// Combinations is the unpruned cross-product size Π |patterns(chain)|,
+	// before symmetry collapse or any pruning (float64: it overflows int
+	// long before the search would visit it).
+	Combinations float64
+	// Evaluated counts combos fully evaluated: server binding, subgroup
+	// derivation, stage check, core allocation and rate LP.
+	Evaluated int
+	// BindRejected counts combos the per-server capacity prefilter rejected
+	// before subgroup derivation.
+	BindRejected int
+	// PrunedSubtrees counts subtrees cut because their optimistic marginal
+	// could not beat the incumbent.
+	PrunedSubtrees int
+	// DemandPruned counts subtrees cut because mandatory t_min core demand
+	// already overflowed the rack.
+	DemandPruned int
+	// CollapsedSubtrees counts subtrees skipped by symmetry
+	// canonicalization over interchangeable chains.
+	CollapsedSubtrees int
+	// IncumbentUpdates counts strict improvements of the shared incumbent.
+	IncumbentUpdates int
+}
+
+// Visited is the number of combos the search actually scored (evaluated or
+// prefilter-rejected) — the denominator-side of prune-rate reporting.
+func (s *SearchStats) Visited() int { return s.Evaluated + s.BindRejected }
+
+// chainPattern is one deduplicated per-chain placement pattern with its
+// precomputed search features.
 type chainPattern struct {
 	assign   map[*nfgraph.Node]Assign
-	minCores int
-	bound    float64 // optimistic chain-rate upper bound
+	sig      string  // dedup signature (performance-relevant features)
+	minCores int     // mandatory cores: one per probe subgroup
+	demand   int     // bindServers-style t_min core demand (admissible floor)
+	bound    float64 // admissible chain-rate upper bound, bps
+	gain     float64 // admissible marginal contribution: max(0, bound - t_min)
 }
 
 // enumerateChainPatterns lists the distinct placement patterns of one chain
 // over its nodes' allowed platforms, deduplicated by performance signature
-// (subgroup cost/weight/replicability multiset + NIC uses + switch set
-// size).
+// (subgroup cost/weight/replicability multiset + NIC uses + switch set).
 func enumerateChainPatterns(in *Input, g *nfgraph.Graph) ([]chainPattern, error) {
 	var flex []*nfgraph.Node
 	fixed := make(map[*nfgraph.Node]Assign)
@@ -187,12 +367,13 @@ func enumerateChainPatterns(in *Input, g *nfgraph.Graph) ([]chainPattern, error)
 	walk = func(i int) {
 		if i == len(flex) {
 			fillDevices(in, assign)
-			sig, minCores, bound := patternSignature(in, g, assign)
-			if seen[sig] {
+			cp := patternFeatures(in, g, assign)
+			if seen[cp.sig] {
 				return
 			}
-			seen[sig] = true
-			out = append(out, chainPattern{assign: cloneAssign(assign), minCores: minCores, bound: bound})
+			seen[cp.sig] = true
+			cp.assign = cloneAssign(assign)
+			out = append(out, cp)
 			return
 		}
 		for _, p := range choices[i] {
@@ -204,28 +385,77 @@ func enumerateChainPatterns(in *Input, g *nfgraph.Graph) ([]chainPattern, error)
 	return out, nil
 }
 
-// patternSignature canonicalizes a per-chain assignment into the features
-// that matter for joint optimization, plus its mandatory core count and an
-// optimistic rate bound.
-func patternSignature(in *Input, g *nfgraph.Graph, assign map[*nfgraph.Node]Assign) (string, int, float64) {
+// patternFeatures canonicalizes a per-chain assignment into its dedup
+// signature plus the branch-and-bound search features: mandatory cores, the
+// t_min core demand bindServers projects, and an admissible rate bound.
+//
+// The bound must hold for every evaluation of the pattern — the no-splits
+// variant, the splitBreaks variant, any core allocation, any server binding
+// (chains always bind whole to one server). Per component:
+//
+//   - A non-replicable subgroup caps the rate at one core's throughput —
+//     but the split variant can isolate its replicable nodes, so only each
+//     maximal run of non-replicable nodes (plus the per-subgroup overhead
+//     both variants pay) is a sound single-core ceiling.
+//   - Work on replicable nodes scales with cores but every core comes from
+//     the one server the chain binds to: rate ≤ maxWorkerCores · clock ·
+//     frame / Σ(weight·cycles of replicable work), ignoring overheads and
+//     core integrality (both only lower the true rate).
+//   - The chain's server link: each subgroup entry crosses the server NIC,
+//     so rate ≤ maxServerLink / Σ subgroup weights even as sole tenant; the
+//     split variant only adds crossings.
+//   - SmartNIC uses, t_max and the ingress port cap as before.
+func patternFeatures(in *Input, g *nfgraph.Graph, assign map[*nfgraph.Node]Assign) chainPattern {
 	probe := probeAssign(assign)
 	subs := computeSubgroups(in, 0, g, probe)
+	overhead := in.Topo.EncapCycles + in.Topo.DemuxCycles
+	tmin := g.Chain.SLO.TMinBps
+
 	var parts []string
-	minCores := 0
-	bound := math.Inf(1)
+	cp := chainPattern{bound: g.Chain.SLO.TMaxBps}
+	if in.Topo.Switch != nil {
+		cp.bound = minF(cp.bound, in.Topo.Switch.PortCapacityBps)
+	}
+	totalWeight := 0.0
+	replCost := 0.0 // Σ weight·cycles of core-scalable work
 	for _, sg := range subs {
 		parts = append(parts, fmt.Sprintf("s:%.0f/%.3f/%v", sg.Cycles, sg.Weight, sg.Replicable))
-		minCores++
-		sg.Cores = 1
-		cap := in.subRateBps(sg)
+		cp.minCores++
+		totalWeight += sg.Weight
 		if sg.Replicable {
-			cap = math.Inf(1) // scalable with cores; optimistic
+			cp.demand += in.coresToMeet(sg, tmin)
+			replCost += sg.Weight * sg.Cycles
+			continue
 		}
-		bound = minF(bound, cap)
+		cp.demand++
+		// Maximal non-replicable runs within the subgroup: the tightest
+		// single-core ceiling that survives the split variant.
+		segCyc, segMax := 0.0, 0.0
+		for _, n := range sg.Nodes {
+			if nodeReplicable(n) {
+				replCost += sg.Weight * in.nodeCycles(n)
+				segMax = maxF(segMax, segCyc)
+				segCyc = 0
+				continue
+			}
+			segCyc += in.nodeCycles(n)
+		}
+		segMax = maxF(segMax, segCyc)
+		if segMax > 0 {
+			seg := &Subgroup{Weight: sg.Weight, Cycles: segMax + overhead, Cores: 1}
+			cp.bound = minF(cp.bound, in.subRateBps(seg))
+		}
+	}
+	if replCost > 0 {
+		cp.bound = minF(cp.bound,
+			float64(in.maxWorkerCores())*in.clockHz()/replCost*in.frameBits())
+	}
+	if totalWeight > 0 {
+		cp.bound = minF(cp.bound, in.maxServerLinkBps()/totalWeight)
 	}
 	for _, u := range computeNICUses(in, 0, g, probe) {
 		parts = append(parts, fmt.Sprintf("n:%s/%.0f/%.3f", u.Node.Class(), u.Cycles, u.Weight))
-		bound = minF(bound, in.nicRateBps(u))
+		cp.bound = minF(cp.bound, in.nicRateBps(u))
 	}
 	// The switch node set matters for stage packing.
 	var sw []string
@@ -236,6 +466,184 @@ func patternSignature(in *Input, g *nfgraph.Graph, assign map[*nfgraph.Node]Assi
 	}
 	parts = append(parts, "sw:"+strings.Join(sw, ","))
 	sort.Strings(parts)
-	bound = minF(bound, g.Chain.SLO.TMaxBps)
-	return strings.Join(parts, ";"), minCores, bound
+	cp.sig = strings.Join(parts, ";")
+	cp.gain = maxF(0, cp.bound-tmin)
+	return cp
 }
+
+// symmetryClasses groups chains into interchangeability classes and returns,
+// per chain, the index of its closest earlier classmate (-1 = first of its
+// class, or symmetry disabled). Two chains are interchangeable when swapping
+// their full pattern assignments provably yields an equally good placement:
+// identical graph structure, per-node costs, weights, platform choices and
+// SLOs, on a fleet of hardware-identical servers (heterogeneous servers make
+// permuted bindings genuinely differ, so symmetry is gated off).
+func symmetryClasses(in *Input, perChain [][]chainPattern) []int {
+	prev := make([]int, len(in.Chains))
+	for i := range prev {
+		prev[i] = -1
+	}
+	if in.DisableSymmetry || len(in.Chains) < 2 || !in.uniformFleet() {
+		return prev
+	}
+	last := map[string]int{}
+	for ci := range in.Chains {
+		key := chainClassKey(in, ci, perChain[ci])
+		if p, ok := last[key]; ok {
+			prev[ci] = p
+		}
+		last[key] = ci
+	}
+	return prev
+}
+
+// chainClassKey renders everything placement evaluation can observe about
+// one chain: its SLO, graph structure with per-node costs and platform
+// choices, and the enumerated pattern list (signatures already capture
+// subgroup structure, NIC uses and switch sets). Equal keys ⇒ the chains'
+// pattern lists align index-by-index and every evaluation is symmetric
+// under swapping them.
+func chainClassKey(in *Input, ci int, pats []chainPattern) string {
+	g := in.Chains[ci]
+	var b strings.Builder
+	fmt.Fprintf(&b, "slo:%g/%g/%g", g.Chain.SLO.TMinBps, g.Chain.SLO.TMaxBps, g.Chain.SLO.DMaxSec)
+	for _, n := range g.Order {
+		fmt.Fprintf(&b, "|n:%s/%g/%g/%v/%v/%v", n.Class(), in.rawWorstCycles(n),
+			n.Weight, n.Meta.Replicable, n.IsBranch(), n.IsMerge())
+		for _, p := range in.allowedPlatforms(n) {
+			fmt.Fprintf(&b, ",%v", p)
+		}
+		for _, e := range n.Outs {
+			fmt.Fprintf(&b, ">%d/%g", e.Node.Seq, e.Weight)
+		}
+	}
+	for _, p := range pats {
+		fmt.Fprintf(&b, "|p:%d/%d/%g/%s", p.minCores, p.demand, p.bound, p.sig)
+	}
+	return b.String()
+}
+
+// serverBinder binds each combo's chains whole to servers — like
+// bindServers, but with the per-chain t_min demand precomputed per pattern
+// (no per-combo subgroup probing) and a capacity prefilter: a binding whose
+// demand overflows its server is rejected before subgroup derivation,
+// because every evaluation of the combo allocates at least that demand there
+// and would fail in allocateCores anyway.
+//
+// Server selection uses a remaining-capacity bucket index with one bitset of
+// servers per remaining-core count: the greedy "emptiest server" pick scans
+// buckets top-down and takes the lowest set bit — the lowest-index server
+// among the emptiest, which on a hardware-uniform fleet is also the
+// canonical representative of every server-permutation-equivalent binding.
+type serverBinder struct {
+	names    []string
+	caps     []int
+	maxCap   int
+	words    int        // uint64 words per bucket bitset
+	template [][]uint64 // initial bucket occupancy, copied per bind
+}
+
+// newServerBinder precomputes the bucket template for the input's fleet.
+func newServerBinder(in *Input) *serverBinder {
+	sb := &serverBinder{}
+	for _, s := range in.Topo.Servers {
+		sb.names = append(sb.names, s.Name)
+		c := s.WorkerCores()
+		sb.caps = append(sb.caps, c)
+		if c > sb.maxCap {
+			sb.maxCap = c
+		}
+	}
+	sb.words = (len(sb.caps) + 63) / 64
+	sb.template = make([][]uint64, sb.maxCap+1)
+	for i := range sb.template {
+		sb.template[i] = make([]uint64, sb.words)
+	}
+	for i, c := range sb.caps {
+		sb.template[c][i/64] |= 1 << uint(i%64)
+	}
+	return sb
+}
+
+// bind assigns every server-platform node of the combo a server device, or
+// rejects the combo with a deterministic reason. Safe for concurrent use:
+// all mutable state is allocated per call.
+func (sb *serverBinder) bind(in *Input, perChain [][]chainPattern, combo []int, assign map[*nfgraph.Node]Assign) (string, bool) {
+	demand := func(ci int) int { return perChain[ci][combo[ci]].demand }
+
+	if len(sb.caps) == 1 {
+		total := 0
+		for ci := range combo {
+			total += demand(ci)
+		}
+		if total > sb.caps[0] {
+			return fmt.Sprintf("server %s: chains need %d cores for t_min, has %d",
+				sb.names[0], total, sb.caps[0]), false
+		}
+		name := sb.names[0]
+		for n, a := range assign {
+			if a.Platform == hw.Server {
+				a.Device = name
+				assign[n] = a
+			}
+		}
+		return "", true
+	}
+
+	// Most demanding chain first (chain index breaks ties) onto the
+	// emptiest server, chains with no server nodes skipped.
+	order := make([]int, 0, len(combo))
+	for ci := range combo {
+		if demand(ci) > 0 {
+			order = append(order, ci)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if demand(order[i]) != demand(order[j]) {
+			return demand(order[i]) > demand(order[j])
+		}
+		return order[i] < order[j]
+	})
+
+	buckets := make([][]uint64, len(sb.template))
+	for i, t := range sb.template {
+		buckets[i] = append([]uint64(nil), t...)
+	}
+	chainServer := make([]string, len(combo))
+	for _, ci := range order {
+		d := demand(ci)
+		srv, rem := -1, -1
+		for b := sb.maxCap; b >= 0; b-- {
+			for w, word := range buckets[b] {
+				if word != 0 {
+					srv, rem = w*64+bits.TrailingZeros64(word), b
+					break
+				}
+			}
+			if srv >= 0 {
+				break
+			}
+		}
+		if d > rem {
+			return fmt.Sprintf("server %s: chain %s needs %d cores for t_min, %d left",
+				sb.names[srv], in.Chains[ci].Chain.Name, d, rem), false
+		}
+		buckets[rem][srv/64] &^= 1 << uint(srv%64)
+		buckets[rem-d][srv/64] |= 1 << uint(srv%64)
+		chainServer[ci] = sb.names[srv]
+	}
+	for ci, g := range in.Chains {
+		if chainServer[ci] == "" {
+			continue
+		}
+		for _, n := range g.Order {
+			if a, ok := assign[n]; ok && a.Platform == hw.Server {
+				a.Device = chainServer[ci]
+				assign[n] = a
+			}
+		}
+	}
+	return "", true
+}
+
+func maxF(a, b float64) float64 { return math.Max(a, b) }

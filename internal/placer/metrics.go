@@ -12,4 +12,13 @@ var (
 	mLPSolves       = obs.C("lemur_placer_lp_solves_total")
 	mLPIterations   = obs.H("lemur_placer_lp_iterations")
 	mLPObjective    = obs.H("lemur_placer_lp_objective_bps")
+
+	// Branch-and-bound search counters (the Optimal scheme; see
+	// bruteforce.go). Subtree counts, not leaf counts: one increment may
+	// stand for an astronomically large cut of the combo space.
+	mBBPruned       = obs.C("lemur_placer_bb_pruned_total")
+	mBBCollapsed    = obs.C("lemur_placer_bb_symmetry_collapsed_total")
+	mBBIncumbent    = obs.C("lemur_placer_bb_incumbent_updates_total")
+	mBBDemandPruned = obs.C("lemur_placer_bb_demand_pruned_total")
+	mBBBindRejected = obs.C("lemur_placer_bb_bind_rejected_total")
 )

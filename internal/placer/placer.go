@@ -95,6 +95,19 @@ type Input struct {
 	// reduced in enumeration order with fixed tie-breaks).
 	Parallel int
 
+	// ExhaustiveSearch disables the Optimal scheme's incumbent pruning and
+	// search budget so every canonical pattern combination is scored — the
+	// reference the branch-and-bound search is property-tested against
+	// (byte-identical Results by construction). Exponential: use on inputs
+	// whose combination space is known to be small.
+	ExhaustiveSearch bool
+
+	// DisableSymmetry turns off the Optimal scheme's symmetry
+	// canonicalization over interchangeable chains, forcing the search to
+	// visit every chain-permutation-equivalent combo it would otherwise
+	// collapse. Benchmarks use it to measure collapse rates.
+	DisableSymmetry bool
+
 	// prep caches per-input derived state (worst-case node cycles, stage
 	// verdicts). Place installs it; consumers validate it against the
 	// current DB/topology and fall back to direct computation on mismatch,
@@ -186,6 +199,18 @@ type Result struct {
 
 	// PlaceTime is how long placement took.
 	PlaceTime time.Duration
+
+	// Truncated reports that the Optimal search hit BruteForceBudget before
+	// exhausting the canonical combination space, so the Result may be
+	// sub-optimal; SkippedCombos counts the canonical combos the budget
+	// left unscored (exact up to an internal counting cap, a floor beyond
+	// it). Always false/0 for the other schemes.
+	Truncated     bool
+	SkippedCombos int
+
+	// Search summarizes the Optimal scheme's branch-and-bound search;
+	// nil for every other scheme.
+	Search *SearchStats
 }
 
 // IsRetired reports whether chain slot ci has been retired (see Retired).

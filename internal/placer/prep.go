@@ -51,6 +51,16 @@ type inputPrep struct {
 	ones  []float64
 	tmins []float64
 
+	// Fleet summary for the branch-and-bound search: the largest per-server
+	// worker-core budget and primary-NIC capacity (its admissible
+	// single-server relaxations), and whether every server is
+	// hardware-identical (the gate for symmetry canonicalization — on a
+	// heterogeneous fleet, permuting chains across servers genuinely
+	// changes the binding).
+	maxCores int
+	maxLink  float64
+	uniform  bool
+
 	// stage memoizes stageCheck verdicts keyed by the PISA-assignment
 	// bitstring over nodes. Guarded: parallel workers share one prep.
 	mu    sync.Mutex
@@ -107,6 +117,7 @@ func (in *Input) ensurePrep() {
 		p.ones[i] = 1
 		p.tmins[i] = g.Chain.SLO.TMinBps
 	}
+	p.maxCores, p.maxLink, p.uniform = fleetSummary(in.Topo)
 	p.pisaNames = make(map[*nfgraph.Node][]string)
 	p.maxTables = 1 // steer_classify
 	for ci, g := range in.Chains {
@@ -124,6 +135,63 @@ func (in *Input) ensurePrep() {
 		}
 	}
 	in.prep = p
+}
+
+// fleetSummary computes the prep's fleet fields from a topology.
+func fleetSummary(topo *hw.Topology) (maxCores int, maxLink float64, uniform bool) {
+	uniform = true
+	ref := topo.Servers[0]
+	for _, s := range topo.Servers {
+		if c := s.WorkerCores(); c > maxCores {
+			maxCores = c
+		}
+		if len(s.NICs) > 0 && s.NICs[0].CapacityBps > maxLink {
+			maxLink = s.NICs[0].CapacityBps
+		}
+		if s.Sockets != ref.Sockets || s.CoresPerSocket != ref.CoresPerSocket ||
+			s.ClockHz != ref.ClockHz || s.ReservedCores != ref.ReservedCores ||
+			len(s.NICs) != len(ref.NICs) {
+			uniform = false
+			continue
+		}
+		for i := range s.NICs {
+			if s.NICs[i].CapacityBps != ref.NICs[i].CapacityBps ||
+				s.NICs[i].Socket != ref.NICs[i].Socket {
+				uniform = false
+			}
+		}
+	}
+	return maxCores, maxLink, uniform
+}
+
+// maxWorkerCores is the largest per-server worker-core budget, via the prep
+// when it matches the input's topology.
+func (in *Input) maxWorkerCores() int {
+	if p := in.prep; p != nil && p.topo == in.Topo {
+		return p.maxCores
+	}
+	c, _, _ := fleetSummary(in.Topo)
+	return c
+}
+
+// maxServerLinkBps is the largest per-server primary-NIC capacity, via the
+// prep when it matches the input's topology.
+func (in *Input) maxServerLinkBps() float64 {
+	if p := in.prep; p != nil && p.topo == in.Topo {
+		return p.maxLink
+	}
+	_, l, _ := fleetSummary(in.Topo)
+	return l
+}
+
+// uniformFleet reports whether every server is hardware-identical, via the
+// prep when it matches the input's topology.
+func (in *Input) uniformFleet() bool {
+	if p := in.prep; p != nil && p.topo == in.Topo {
+		return p.uniform
+	}
+	_, _, u := fleetSummary(in.Topo)
+	return u
 }
 
 func sameChains(a, b []*nfgraph.Graph) bool {

@@ -56,15 +56,22 @@ func computeSubgroupsSplit(in *Input, chainIdx int, g *nfgraph.Graph, assign map
 	return subs
 }
 
+// nodeReplicable reports whether one node can replicate across cores on its
+// own: a per-flow-safe NF that is neither a branch nor a merge point. Both
+// splitBreaks and the branch-and-bound rate bound segment non-replicable
+// subgroups with it, which is what makes the bound admissible for the split
+// variant.
+func nodeReplicable(n *nfgraph.Node) bool {
+	return n.Meta.Replicable && !n.IsBranch() && !n.IsMerge()
+}
+
 // splitBreaks proposes break marks isolating non-replicable NFs from
 // replicable neighbours within each server run, so the scalable parts can
 // take extra cores. The extra subgroup boundary costs a switch bounce and a
 // core, which the LP and allocation account for.
 func splitBreaks(in *Input, assign map[*nfgraph.Node]Assign) map[*nfgraph.Node]bool {
 	var breaks map[*nfgraph.Node]bool // allocated on first mark; usually stays nil
-	nodeRepl := func(n *nfgraph.Node) bool {
-		return n.Meta.Replicable && !n.IsBranch() && !n.IsMerge()
-	}
+	nodeRepl := nodeReplicable
 	for ci, g := range in.Chains {
 		for _, sg := range computeSubgroups(in, ci, g, assign) {
 			if len(sg.Nodes) < 2 || sg.Replicable {

@@ -200,6 +200,15 @@ func (p *Placement) Stages() int { return p.res.Stages }
 // MarginalBps is the aggregate marginal throughput (Σ rate−t_min).
 func (p *Placement) MarginalBps() float64 { return p.res.Marginal }
 
+// Truncated reports whether the Optimal scheme's search hit its budget
+// before exhausting the combination space — the Result may be sub-optimal.
+// Always false for the other schemes.
+func (p *Placement) Truncated() bool { return p.res.Truncated }
+
+// SkippedCombos counts the pattern combinations a truncated Optimal search
+// left unscored (see Truncated).
+func (p *Placement) SkippedCombos() int { return p.res.SkippedCombos }
+
 // ChainRatesBps returns the LP-assigned per-chain rates.
 func (p *Placement) ChainRatesBps() []float64 {
 	return append([]float64(nil), p.res.ChainRates...)
