@@ -85,6 +85,19 @@ awk -v t="$scale" -v f="$SCALE_FLOOR" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || {
   exit 1
 }
 
+# The deadline-scheduling path (EDF scheduler trees, metacompiler slacks,
+# p99 admission, simulator drain order + quantiles, latency sweep) gets its
+# own aggregate floor so the SLO path cannot silently lose its tests.
+DEADLINE_FLOOR=75.0
+deadline=$(awk '$1 ~ /internal\/bess\/scheduler\.go|internal\/metacompiler\/deadline\.go|internal\/placer\/p99\.go|internal\/runtime\/(simedf|quantile)\.go|internal\/experiments\/latencysweep\.go/ {
+    total += $2; if ($3 > 0) covered += $2 }
+  END { if (total > 0) printf "%.1f", 100 * covered / total; else print 0 }' /tmp/lemur-cover.out)
+echo "    deadline-file coverage: ${deadline}%"
+awk -v t="$deadline" -v f="$DEADLINE_FLOOR" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || {
+  echo "ci: deadline-file coverage ${deadline}% fell below the ${DEADLINE_FLOOR}% floor" >&2
+  exit 1
+}
+
 # Allocation-regression guard: the arena-backed simulator must stay under its
 # fixed allocs-per-packet budget (testing.AllocsPerRun inside the test), and
 # the million-flow smoke must hold steady state under 0.5 allocs/packet.
@@ -107,6 +120,23 @@ go test -race -count=1 \
 
 echo "==> parallel simulation allocation guard"
 go test -run 'TestSimulateParallelAllocBudget' -count=1 ./internal/runtime
+
+# Deadline-scheduling guards: the EDF scheduler-tree builder and its
+# Deadline node get a named race pass; the simulator's deadline-free
+# byte-identity (50+ random topologies × policies × workers), the
+# deadline-bearing fast-vs-reference identity, and the quantile-select
+# property tests run un-cached alongside it.
+echo "==> deadline scheduling (bess scheduler race pass + simulator identity)"
+go test -race -count=1 -run 'TestSchedulerTrees|TestCapacityModel' ./internal/bess
+go test -race -count=1 \
+  -run 'TestDeadlineFreePolicyByteIdentity|TestSimulateDeadlineMatchesReference|TestSchedPolicyValidation|TestQuantileSelect' \
+  ./internal/runtime
+
+# Ten seconds of FuzzChainSpec exercises the nfspec grammar — the slo block
+# (tmin/tmax/dmax/d_max_p99 with unit suffixes and bad-value rejection),
+# aggregates, NF args, and edges — beyond the seed corpus.
+echo "==> fuzz smoke (FuzzChainSpec, 10s)"
+go test -run '^$' -fuzz 'FuzzChainSpec' -fuzztime=10s ./internal/nfspec
 
 # Branch-and-bound soundness: the Optimal placer's pruning/symmetry property
 # tests (byte-identity vs the exhaustive reference, budget semantics,

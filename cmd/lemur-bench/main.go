@@ -36,6 +36,7 @@ func main() {
 		extreme     = flag.Bool("extreme", false, "11-NAT stage-constraint study")
 		sensitivity = flag.Bool("sensitivity", false, "profiling-error study")
 		latency     = flag.Bool("latency", false, "latency SLO study")
+		latencyOut  = flag.String("latency-out", "", "with -latency: also run the EDF-vs-round-robin deadline-compliance sweep and write it to this JSON path (BENCH_7.json)")
 		loc         = flag.Bool("loc", false, "meta-compiler LoC accounting")
 		scaling     = flag.Bool("scaling", false, "placer computation time")
 		feasibility = flag.Bool("feasibility", false, "feasibility summary across all sets")
@@ -108,6 +109,7 @@ func main() {
 		runSensitivity()
 	case *latency:
 		runLatency()
+		runLatencySweep(*parallel, *simWorkers, *latencyOut)
 	case *loc:
 		runLoC()
 	case *scaling:

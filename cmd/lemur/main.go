@@ -43,6 +43,7 @@ func main() {
 		churnSched = flag.String("churn", "", "chain-churn schedule for an online admission/retirement simulation, e.g. \"admit:web@0.2s;retire:chain2@0.6s\"; admit targets must be chains in -spec (they are held out of the initial deployment)")
 		headroom   = flag.Int("headroom", 0, "per-server worker cores reserved for future admissions; without a reserve the placer spends every core on throughput and -churn admissions usually need a full repack")
 		simWorkers = flag.Int("sim-workers", 1, "worker shards per -simulate/-chaos/-churn run (results byte-identical at any value)")
+		schedPol   = flag.String("sched-policy", "", "per-core scheduler drain order for -simulate/-chaos/-churn: \"edf\" (default when any chain sets a deadline) or \"rr\" (force the legacy round-robin order)")
 	)
 	flag.Parse()
 	if *simWorkers < 1 {
@@ -83,6 +84,9 @@ func main() {
 	}
 	if *simWorkers > 1 {
 		opts = append(opts, lemur.WithSimWorkers(*simWorkers))
+	}
+	if *schedPol != "" {
+		opts = append(opts, lemur.WithSchedPolicy(*schedPol))
 	}
 
 	sys := lemur.New(opts...)
@@ -282,10 +286,14 @@ func runSimulate(sys *lemur.System, factors string) error {
 			return err
 		}
 		for ci := range rep.AchievedBps {
-			fmt.Printf("  load %.2fx chain %d: achieved %.2f Gbps, drop %.2f%%, avg delay %.1fus, p99 %.1fus (injected %d, egressed %d)\n",
+			fmt.Printf("  load %.2fx chain %d: achieved %.2f Gbps, drop %.2f%%, avg delay %.1fus, p99 %.1fus (injected %d, egressed %d)",
 				f, ci, rep.AchievedBps[ci]/1e9, rep.DropRate[ci]*100,
 				rep.AvgQueueDelaySec[ci]*1e6, rep.P99QueueDelaySec[ci]*1e6,
 				rep.Injected[ci], rep.Egressed[ci])
+			if rep.DeadlineCompliance != nil {
+				fmt.Printf(", deadline met %.1f%%", rep.DeadlineCompliance[ci]*100)
+			}
+			fmt.Println()
 		}
 	}
 	return nil

@@ -235,3 +235,87 @@ func TestSchedulerTrees(t *testing.T) {
 		t.Error("empty tree must return nil")
 	}
 }
+
+// TestSchedulerTreesEDF: a core hosting a deadline-bearing subgroup gets a
+// Deadline root ordered by ascending slack (deadline-free residents last,
+// name-ordered); cores with no deadline resident keep round-robin verbatim;
+// and nil slack input reproduces BuildSchedulers exactly.
+func TestSchedulerTreesEDF(t *testing.T) {
+	pl := NewPipeline(server())
+	a := mkSub(t, "a") // core 1, slack 30us
+	a.Shares = []CoreShare{{Core: 1, Fraction: 0.25}}
+	b := mkSub(t, "b") // cores 1+2, slack 10us (most urgent)
+	b.SPI = 2
+	b.Shares = []CoreShare{{Core: 1, Fraction: 0.25}, {Core: 2, Fraction: 1}}
+	c := mkSub(t, "c") // core 1, no deadline
+	c.SPI = 3
+	c.Shares = []CoreShare{{Core: 1, Fraction: 0.5}}
+	d := mkSub(t, "d") // core 3 alone, no deadline: stays round-robin
+	d.SPI = 4
+	d.Shares = []CoreShare{{Core: 3, Fraction: 1}}
+	for _, sg := range []*Subgroup{a, b, c, d} {
+		if err := pl.Add(sg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	slack := map[string]float64{"a": 30e-6, "b": 10e-6}
+	scheds := BuildSchedulersEDF(pl, map[string]float64{"b": 1e9}, slack)
+	if len(scheds) != 3 {
+		t.Fatalf("schedulers = %d, want 3 (cores 1,2,3)", len(scheds))
+	}
+	// Core 1: Deadline root, b (slack 10us, rate-limited) before a (30us),
+	// deadline-free c last.
+	root := scheds[0].Root
+	if root.Kind != Deadline || len(root.Children) != 3 {
+		t.Fatalf("core 1 root = %+v", root)
+	}
+	if root.Children[0].Kind != RateLimit || !root.Children[0].HasSlack ||
+		root.Children[0].Children[0].Subgroup.Name != "b" {
+		t.Errorf("core 1 first child = %+v", root.Children[0])
+	}
+	if root.Children[1].Subgroup.Name != "a" || root.Children[2].Subgroup.Name != "c" {
+		t.Errorf("core 1 order = %s, %s (want a, c)",
+			root.Children[1].Subgroup.Name, root.Children[2].Subgroup.Name)
+	}
+	if root.Children[2].HasSlack {
+		t.Error("deadline-free subgroup c must not carry slack")
+	}
+	// Strict priority: NextLeaf always returns the most urgent child.
+	if got := root.NextLeaf().Subgroup.Name; got != "b" {
+		t.Errorf("NextLeaf = %s, want b", got)
+	}
+	if got := root.NextLeaf().Subgroup.Name; got != "b" {
+		t.Errorf("second NextLeaf = %s, want b (strict priority)", got)
+	}
+	// Core 2 hosts only b (deadline-bearing) -> Deadline root too.
+	if scheds[1].Root.Kind != Deadline {
+		t.Errorf("core 2 root kind = %v, want Deadline", scheds[1].Root.Kind)
+	}
+	// Core 3 hosts only deadline-free d -> round-robin verbatim.
+	if scheds[2].Root.Kind != RoundRobin {
+		t.Errorf("core 3 root kind = %v, want RoundRobin", scheds[2].Root.Kind)
+	}
+	// Rendering shows the policy and per-leaf slack.
+	s := scheds[0].String()
+	if !strings.Contains(s, "deadline_edf") || !strings.Contains(s, "subgroup b slack 10.0us") ||
+		!strings.Contains(s, "subgroup c\n") {
+		t.Errorf("render:\n%s", s)
+	}
+	if (&SchedNode{Kind: Deadline}).NextLeaf() != nil {
+		t.Error("empty deadline tree must return nil")
+	}
+
+	// Deadline-free identity: nil slack reproduces BuildSchedulers output
+	// byte-for-byte.
+	plain := BuildSchedulers(pl, map[string]float64{"b": 1e9})
+	viaEDF := BuildSchedulersEDF(pl, map[string]float64{"b": 1e9}, nil)
+	if len(plain) != len(viaEDF) {
+		t.Fatalf("tree count %d vs %d", len(plain), len(viaEDF))
+	}
+	for i := range plain {
+		if plain[i].String() != viaEDF[i].String() {
+			t.Errorf("core %d trees diverge without deadlines:\n%s\nvs\n%s",
+				plain[i].Core, plain[i].String(), viaEDF[i].String())
+		}
+	}
+}

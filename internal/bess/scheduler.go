@@ -9,7 +9,11 @@ import (
 // The paper (§A.1.3) uses BESS's hierarchical scheduler: a per-core tree of
 // logical interior nodes (policies) and physical leaves (subgroup
 // instances). The meta-compiler emits one round-robin root per core over the
-// subgroups sharing it, with rate-limit nodes enforcing t_max.
+// subgroups sharing it, with rate-limit nodes enforcing t_max. Cores hosting
+// a chain with a latency deadline get an earliest-deadline-first root
+// instead (Wang et al.): children ordered by per-chain slack — the chain's
+// d_max minus the best-case delay accumulated upstream of the subgroup — so
+// the subgroup closest to blowing its deadline is always served first.
 
 // NodeKind classifies scheduler tree nodes.
 type NodeKind int
@@ -19,6 +23,10 @@ const (
 	RoundRobin NodeKind = iota
 	RateLimit
 	Leaf
+	// Deadline is an earliest-deadline-first policy node: children are
+	// ordered by ascending slack (most urgent first), deadline-free
+	// children after all deadline-bearing ones.
+	Deadline
 )
 
 // SchedNode is one node of a per-core scheduler tree.
@@ -27,6 +35,14 @@ type SchedNode struct {
 	RateBps  float64 // RateLimit only
 	Subgroup *Subgroup
 	Children []*SchedNode
+
+	// SlackSec is the EDF priority of a child of a Deadline node: the
+	// owning chain's d_max minus the best-case delay accumulated upstream
+	// of this subgroup. Meaningful only when HasSlack is set.
+	SlackSec float64
+	// HasSlack marks a node whose subgroup belongs to a deadline-bearing
+	// chain (zero is a valid slack, so presence needs its own bit).
+	HasSlack bool
 
 	rrNext int // round-robin cursor
 }
@@ -42,6 +58,18 @@ type CoreScheduler struct {
 // it; subgroups with a rate cap get a RateLimit interposed.
 // rateCaps maps subgroup name -> bps cap (0/absent = uncapped).
 func BuildSchedulers(pl *Pipeline, rateCaps map[string]float64) []CoreScheduler {
+	return BuildSchedulersEDF(pl, rateCaps, nil)
+}
+
+// BuildSchedulersEDF is BuildSchedulers with per-subgroup deadline slack:
+// slackSec maps subgroup name -> slack seconds (chain d_max minus best-case
+// upstream delay; absent = the owning chain has no deadline). A core where
+// at least one resident subgroup carries slack gets a Deadline root whose
+// children are ordered by ascending slack (name as the tie-break), with
+// deadline-free residents appended in name order. Cores with no
+// deadline-bearing resident keep the round-robin tree verbatim, so a nil or
+// empty slackSec reproduces BuildSchedulers exactly.
+func BuildSchedulersEDF(pl *Pipeline, rateCaps, slackSec map[string]float64) []CoreScheduler {
 	byCore := make(map[int][]*Subgroup)
 	for _, sg := range pl.Subgroups() {
 		for _, s := range sg.Shares {
@@ -56,15 +84,41 @@ func BuildSchedulers(pl *Pipeline, rateCaps map[string]float64) []CoreScheduler 
 
 	var out []CoreScheduler
 	for _, c := range cores {
-		root := &SchedNode{Kind: RoundRobin}
-		for _, sg := range byCore[c] {
-			leaf := &SchedNode{Kind: Leaf, Subgroup: sg}
-			if cap, ok := rateCaps[sg.Name]; ok && cap > 0 {
-				root.Children = append(root.Children,
-					&SchedNode{Kind: RateLimit, RateBps: cap, Children: []*SchedNode{leaf}})
-			} else {
-				root.Children = append(root.Children, leaf)
+		subs := byCore[c]
+		hasDeadline := false
+		for _, sg := range subs {
+			if _, ok := slackSec[sg.Name]; ok {
+				hasDeadline = true
+				break
 			}
+		}
+		root := &SchedNode{Kind: RoundRobin}
+		if hasDeadline {
+			root.Kind = Deadline
+			subs = append([]*Subgroup(nil), subs...)
+			sort.SliceStable(subs, func(i, j int) bool {
+				si, iok := slackSec[subs[i].Name]
+				sj, jok := slackSec[subs[j].Name]
+				if iok != jok {
+					return iok // deadline-bearing first
+				}
+				if iok && si != sj {
+					return si < sj // most urgent (least slack) first
+				}
+				return subs[i].Name < subs[j].Name
+			})
+		}
+		for _, sg := range subs {
+			leaf := &SchedNode{Kind: Leaf, Subgroup: sg}
+			if s, ok := slackSec[sg.Name]; ok {
+				leaf.SlackSec, leaf.HasSlack = s, true
+			}
+			child := leaf
+			if cap, ok := rateCaps[sg.Name]; ok && cap > 0 {
+				child = &SchedNode{Kind: RateLimit, RateBps: cap, Children: []*SchedNode{leaf}}
+				child.SlackSec, child.HasSlack = leaf.SlackSec, leaf.HasSlack
+			}
+			root.Children = append(root.Children, child)
 		}
 		out = append(out, CoreScheduler{Core: c, Root: root})
 	}
@@ -72,12 +126,15 @@ func BuildSchedulers(pl *Pipeline, rateCaps map[string]float64) []CoreScheduler 
 }
 
 // NextLeaf advances the round-robin cursors and returns the next runnable
-// subgroup leaf, or nil for an empty tree.
+// subgroup leaf, or nil for an empty tree. A Deadline node is strict
+// priority: it always descends into its most urgent (first) child — a real
+// scheduler falls through to later children only when earlier ones are
+// idle, a state this static tree does not track.
 func (n *SchedNode) NextLeaf() *SchedNode {
 	switch n.Kind {
 	case Leaf:
 		return n
-	case RateLimit:
+	case RateLimit, Deadline:
 		if len(n.Children) == 0 {
 			return nil
 		}
@@ -103,10 +160,16 @@ func (cs CoreScheduler) String() string {
 		switch n.Kind {
 		case RoundRobin:
 			fmt.Fprintf(&b, "%sround_robin\n", indent)
+		case Deadline:
+			fmt.Fprintf(&b, "%sdeadline_edf\n", indent)
 		case RateLimit:
 			fmt.Fprintf(&b, "%srate_limit %.0f bps\n", indent, n.RateBps)
 		case Leaf:
-			fmt.Fprintf(&b, "%ssubgroup %s\n", indent, n.Subgroup.Name)
+			if n.HasSlack {
+				fmt.Fprintf(&b, "%ssubgroup %s slack %.1fus\n", indent, n.Subgroup.Name, n.SlackSec*1e6)
+			} else {
+				fmt.Fprintf(&b, "%ssubgroup %s\n", indent, n.Subgroup.Name)
+			}
 		}
 		for _, c := range n.Children {
 			walk(c, depth+1)

@@ -35,7 +35,11 @@ import (
 type SLO struct {
 	TMinBps float64 // minimum guaranteed rate; 0 = best effort
 	TMaxBps float64 // burst cap; +Inf = unlimited
-	DMaxSec float64 // max chain delay; 0 = unconstrained
+	DMaxSec float64 // max mean chain delay; 0 = unconstrained
+	// DMaxP99Sec bounds the chain's 99th-percentile delay (spelled
+	// dmax_p99 in spec text); 0 = unconstrained. When both bounds are
+	// set, the tail bound must be at least the mean bound.
+	DMaxP99Sec float64
 }
 
 // Aggregate describes the traffic this chain applies to.
@@ -189,8 +193,8 @@ func (l *lexer) run() {
 			}
 			l.emit(tString, s[l.pos+1:j])
 			l.pos = j + 1
-		case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(s) && s[l.pos+1] >= '0' && s[l.pos+1] <= '9':
-			j := l.pos
+		case c >= '0' && c <= '9' || (c == '.' || c == '-') && l.pos+1 < len(s) && s[l.pos+1] >= '0' && s[l.pos+1] <= '9':
+			j := l.pos + 1 // the sign (or first digit/dot) is consumed
 			for j < len(s) && (s[j] >= '0' && s[j] <= '9' || s[j] == '.' ||
 				s[j] >= 'a' && s[j] <= 'z' || s[j] >= 'A' && s[j] <= 'Z' || s[j] == '/') {
 				j++
@@ -297,6 +301,9 @@ func (p *parser) parseValue() (value, error) {
 func parseNumber(t token) (value, error) {
 	text := t.text
 	i := 0
+	if i < len(text) && text[i] == '-' {
+		i++
+	}
 	for i < len(text) && (text[i] >= '0' && text[i] <= '9' || text[i] == '.') {
 		i++
 	}
@@ -383,6 +390,8 @@ func (p *parser) parseSLO(c *Chain) error {
 			c.SLO.TMaxBps = f
 		case "dmax":
 			c.SLO.DMaxSec = f
+		case "dmax_p99":
+			c.SLO.DMaxP99Sec = f
 		default:
 			return fmt.Errorf("nfspec: chain %s: unknown slo field %q", c.Name, k)
 		}
@@ -576,6 +585,18 @@ func (p *parser) validate(c *Chain) error {
 	}
 	if c.SLO.TMaxBps < c.SLO.TMinBps {
 		return fmt.Errorf("nfspec: chain %s: tmax %v < tmin %v", c.Name, c.SLO.TMaxBps, c.SLO.TMinBps)
+	}
+	if c.SLO.DMaxSec < 0 {
+		return fmt.Errorf("nfspec: chain %s: dmax %v is negative", c.Name, c.SLO.DMaxSec)
+	}
+	if c.SLO.DMaxP99Sec < 0 {
+		return fmt.Errorf("nfspec: chain %s: dmax_p99 %v is negative", c.Name, c.SLO.DMaxP99Sec)
+	}
+	// Zero means unset for both delay bounds; only when both are present
+	// can they contradict (a tail bound tighter than the mean bound).
+	if c.SLO.DMaxP99Sec > 0 && c.SLO.DMaxSec > 0 && c.SLO.DMaxP99Sec < c.SLO.DMaxSec {
+		return fmt.Errorf("nfspec: chain %s: dmax_p99 %v < dmax %v (p99 bound below the mean bound)",
+			c.Name, c.SLO.DMaxP99Sec, c.SLO.DMaxSec)
 	}
 	return nil
 }

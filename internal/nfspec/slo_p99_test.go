@@ -1,0 +1,145 @@
+package nfspec
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// specWithSLO wraps an slo block in a minimal valid chain.
+func specWithSLO(slo string) string {
+	return "chain s {\n  slo { " + slo + " }\n" +
+		"  aggregate { src = 10.0.0.0/8 }\n  a = ACL(rules = 4)\n  b = IPv4Fwd()\n  a -> b\n}\n"
+}
+
+// TestParseSLODelayBounds drives the extended SLO grammar through good and
+// bad values: dmax_p99 parses with time units, zero means unset (so a lone
+// zero never conflicts with the other bound), negatives are rejected, and a
+// p99 bound tighter than the mean bound is rejected as contradictory.
+func TestParseSLODelayBounds(t *testing.T) {
+	cases := []struct {
+		name    string
+		slo     string
+		wantErr string // "" = must parse
+		check   func(t *testing.T, s SLO)
+	}{
+		{
+			name: "p99 bound parses with units",
+			slo:  "tmin = 1Gbps  tmax = 10Gbps  dmax = 45us  dmax_p99 = 80us",
+			check: func(t *testing.T, s SLO) {
+				// Units multiply at runtime (45 * 1e-6), so compare with a
+				// relative tolerance rather than against exact literals.
+				if math.Abs(s.DMaxSec-45e-6) > 1e-12 || math.Abs(s.DMaxP99Sec-80e-6) > 1e-12 {
+					t.Errorf("bounds = %v/%v, want 45us/80us", s.DMaxSec, s.DMaxP99Sec)
+				}
+			},
+		},
+		{
+			name: "p99 alone is valid",
+			slo:  "tmin = 1Gbps  tmax = 10Gbps  dmax_p99 = 2ms",
+			check: func(t *testing.T, s SLO) {
+				if s.DMaxSec != 0 || s.DMaxP99Sec != 2e-3 {
+					t.Errorf("bounds = %v/%v, want 0/2ms", s.DMaxSec, s.DMaxP99Sec)
+				}
+			},
+		},
+		{
+			name: "equal bounds are valid",
+			slo:  "dmax = 50us  dmax_p99 = 50us",
+			check: func(t *testing.T, s SLO) {
+				if s.DMaxP99Sec != s.DMaxSec {
+					t.Errorf("bounds differ: %v vs %v", s.DMaxSec, s.DMaxP99Sec)
+				}
+			},
+		},
+		{
+			// Zero is "unset", not "zero-delay": it must not trip the
+			// p99-below-mean check against a set dmax.
+			name: "zero p99 means unset",
+			slo:  "dmax = 50us  dmax_p99 = 0s",
+			check: func(t *testing.T, s SLO) {
+				if s.DMaxP99Sec != 0 {
+					t.Errorf("DMaxP99Sec = %v, want 0 (unset)", s.DMaxP99Sec)
+				}
+			},
+		},
+		{
+			name:    "negative dmax rejected",
+			slo:     "dmax = -1us",
+			wantErr: "dmax -1e-06 is negative",
+		},
+		{
+			name:    "negative p99 rejected",
+			slo:     "dmax_p99 = -3ms",
+			wantErr: "dmax_p99 -0.003 is negative",
+		},
+		{
+			name:    "p99 below mean bound rejected",
+			slo:     "dmax = 50us  dmax_p99 = 20us",
+			wantErr: "p99 bound below the mean bound",
+		},
+		{
+			name:    "unknown delay field rejected",
+			slo:     "dmax_p50 = 20us",
+			wantErr: "unknown slo field",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			chains, err := Parse(specWithSLO(tc.slo))
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("parse succeeded, want error containing %q", tc.wantErr)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(chains) != 1 {
+				t.Fatalf("chains = %d, want 1", len(chains))
+			}
+			tc.check(t, chains[0].SLO)
+		})
+	}
+}
+
+// FuzzChainSpec fuzzes the full chain grammar (with the extended SLO
+// fields seeded) and asserts the parser's postcondition: no panic, and any
+// chain that parses satisfies every validate() invariant — non-empty NFs,
+// known classes, tmax >= tmin, non-negative delay bounds, and no p99 bound
+// below a set mean bound.
+func FuzzChainSpec(f *testing.F) {
+	f.Add(specWithSLO("tmin = 1Gbps  tmax = 10Gbps  dmax = 45us  dmax_p99 = 80us"))
+	f.Add(specWithSLO("dmax_p99 = 2ms"))
+	f.Add(specWithSLO("dmax = 50us  dmax_p99 = 20us"))
+	f.Add(specWithSLO("dmax = -1us"))
+	f.Add("chain b {\n  slo { tmin = 2Gbps  tmax = 100Gbps }\n  aggregate { src = 10.0.0.0/8 }\n" +
+		"  m = Monitor()\n  n = NAT()\n  m -> [weight = 0.5] n\n}\n")
+	f.Add("let R = 64\nchain l {\n  aggregate { src = 10.0.0.0/8 }\n  a = ACL(rules = R)\n}\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		chains, err := Parse(src)
+		if err != nil {
+			return
+		}
+		for _, c := range chains {
+			if len(c.NFs) == 0 {
+				t.Fatalf("chain %q parsed with no NFs", c.Name)
+			}
+			if c.SLO.TMaxBps < c.SLO.TMinBps {
+				t.Fatalf("chain %q: tmax %v < tmin %v", c.Name, c.SLO.TMaxBps, c.SLO.TMinBps)
+			}
+			if c.SLO.DMaxSec < 0 || c.SLO.DMaxP99Sec < 0 {
+				t.Fatalf("chain %q: negative delay bound survived validate: %v/%v",
+					c.Name, c.SLO.DMaxSec, c.SLO.DMaxP99Sec)
+			}
+			if c.SLO.DMaxP99Sec > 0 && c.SLO.DMaxSec > 0 && c.SLO.DMaxP99Sec < c.SLO.DMaxSec {
+				t.Fatalf("chain %q: p99 bound %v below mean bound %v survived validate",
+					c.Name, c.SLO.DMaxP99Sec, c.SLO.DMaxSec)
+			}
+		}
+	})
+}

@@ -78,6 +78,14 @@ func finishCommon(in *Input, res *Result, policy allocPolicy) *Result {
 		res.Reason = reason
 		return res
 	}
+	if reason, ok := checkTailLatency(in, res); !ok {
+		// solveRates already filled the rate summary; an infeasible Result
+		// must not carry stale rates (see TestPlaceInfeasibleReasons).
+		res.Reason = reason
+		res.ChainRates, res.Marginal, res.PredictedAggregate = nil, 0, 0
+		res.PredictedP99Sec = nil
+		return res
+	}
 	res.Feasible = true
 	return res
 }
@@ -92,6 +100,23 @@ func checkLatency(in *Input, res *Result) (string, bool) {
 		dmax := g.Chain.SLO.DMaxSec
 		if dmax <= 0 || res.IsRetired(ci) {
 			continue
+		}
+		// A d_max below the placement-independent propagation floor —
+		// the switch pipeline plus, when some NF cannot run on the
+		// switch, the mandatory round trip to another platform — cannot
+		// be met by ANY placement. Report that explicitly (and before
+		// the path walk, which is silently vacuous for chains whose
+		// path set is empty) instead of blaming this placement's paths.
+		floor := switchPipelineSec
+		for _, n := range g.Order {
+			if !in.allows(n, hw.PISA) {
+				floor += 2 * in.Topo.HopLatencySec
+				break
+			}
+		}
+		if dmax < floor {
+			return fmt.Sprintf("chain %s: d_max %.1fus is below the best-case propagation delay %.1fus; no placement can meet it",
+				g.Chain.Name, dmax*1e6, floor*1e6), false
 		}
 		worst := 0.0
 		for _, path := range in.chainPaths(ci) {

@@ -155,12 +155,37 @@ func TestPlaceInfeasibleReasons(t *testing.T) {
 			wantReason: "subgroups need",
 		},
 		{
-			// A d_max tighter than a single Encrypt's service time.
+			// A d_max above the propagation floor (switch pipeline + the
+			// mandatory server round trip, 11us here) but tighter than the
+			// floor plus Encrypt's service time: the placement-specific
+			// worst-path check fires.
 			name: "d_max violation",
 			topo: hw.NewPaperTestbed(),
-			src: "chain dm {\n  slo { tmin = 100Mbps  tmax = 100Gbps  dmax = 2us }\n" +
+			src: "chain dm {\n  slo { tmin = 100Mbps  tmax = 100Gbps  dmax = 12us }\n" +
 				"  aggregate { src = 10.9.0.0/16 }\n  e = Encrypt()\n  fwd = IPv4Fwd()\n  e -> fwd\n}\n",
 			wantReason: "d_max",
+		},
+		{
+			// A d_max below even the propagation floor — Encrypt cannot run
+			// on the switch, so no placement avoids the two hop latencies.
+			// Must be called out as unsatisfiable-by-any-placement, not
+			// blamed on this placement's paths.
+			name: "d_max below propagation floor",
+			topo: hw.NewPaperTestbed(),
+			src: "chain df {\n  slo { tmin = 100Mbps  tmax = 100Gbps  dmax = 2us }\n" +
+				"  aggregate { src = 10.9.0.0/16 }\n  e = Encrypt()\n  fwd = IPv4Fwd()\n  e -> fwd\n}\n",
+			wantReason: "below the best-case propagation delay",
+		},
+		{
+			// A non-replicable Limiter with no t_max solves at exactly its
+			// single-core capacity (ρ = 1), so the M/M/1 tail estimate is
+			// unbounded and the d_max_p99 admission check rejects the
+			// operating point.
+			name: "d_max_p99 violation",
+			topo: hw.NewPaperTestbed(),
+			src: "chain dp {\n  slo { tmin = 100Mbps  dmax_p99 = 50us }\n" +
+				"  aggregate { src = 10.9.0.0/16 }\n  lim = Limiter()\n  fwd = IPv4Fwd()\n  lim -> fwd\n}\n",
+			wantReason: "d_max_p99",
 		},
 	}
 	for _, tc := range cases {

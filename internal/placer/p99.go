@@ -1,0 +1,111 @@
+package placer
+
+import (
+	"fmt"
+	"math"
+
+	"lemur/internal/hw"
+	"lemur/internal/nfgraph"
+)
+
+// The tail-latency admission check (the d_max_p99 SLO): where checkLatency
+// bounds the fixed worst-path delay, this bounds the 99th percentile
+// including queueing at the LP-assigned operating point. Each server
+// subgroup is modeled as an M/M/1 queue at utilization ρ = λ/μ, whose
+// waiting time satisfies P(W > t) = ρ·e^{-(μ-λ)t}, so the p99 wait is
+// ln(100ρ)/(μ-λ) (zero when 100ρ <= 1, unbounded at ρ >= 1).
+
+// checkTailLatency predicts each chain's p99 delay at the solved rates —
+// worst root-to-leaf fixed delay plus the M/M/1 p99 wait at every server
+// subgroup the path crosses — records it in Result.PredictedP99Sec, and
+// rejects the placement if a chain with a d_max_p99 bound exceeds it. It
+// must run after solveRates (the estimate needs ChainRates).
+func checkTailLatency(in *Input, res *Result) (string, bool) {
+	const switchPipelineSec = 1e-6
+	res.PredictedP99Sec = make([]float64, len(in.Chains))
+	subOf := make(map[*nfgraph.Node]*Subgroup, len(res.Subgroups))
+	for _, sg := range res.Subgroups {
+		for _, n := range sg.Nodes {
+			subOf[n] = sg
+		}
+	}
+	for ci, g := range in.Chains {
+		if res.IsRetired(ci) {
+			continue
+		}
+		rate := 0.0
+		if ci < len(res.ChainRates) {
+			rate = res.ChainRates[ci]
+		}
+		worst := 0.0
+		for _, path := range in.chainPaths(ci) {
+			d := switchPipelineSec
+			prev, prevDev := hw.PISA, ""
+			hops := 0
+			var seen map[*Subgroup]bool
+			for _, n := range path.Nodes {
+				a := res.Assign[n]
+				if a.Platform != prev || (a.Platform != hw.PISA && a.Device != prevDev) {
+					hops++
+					prev, prevDev = a.Platform, a.Device
+				}
+				switch a.Platform {
+				case hw.Server:
+					d += in.nodeCycles(n) / in.clockHz()
+					if sg := subOf[n]; sg != nil && !seen[sg] {
+						if seen == nil {
+							seen = make(map[*Subgroup]bool, 4)
+						}
+						seen[sg] = true
+						d += mm1P99WaitSec(in, sg, rate)
+					}
+				case hw.SmartNIC:
+					if nic, err := in.Topo.SmartNICByName(a.Device); err == nil {
+						d += in.nodeCycles(n) / (nic.SpeedupVsServerCore * in.clockHz())
+					}
+				}
+			}
+			if prev != hw.PISA {
+				hops++
+			}
+			d += float64(hops) * in.Topo.HopLatencySec
+			if d > worst {
+				worst = d
+			}
+		}
+		res.PredictedP99Sec[ci] = worst
+		bound := g.Chain.SLO.DMaxP99Sec
+		if bound <= 0 {
+			continue
+		}
+		if math.IsInf(worst, 1) {
+			return fmt.Sprintf("chain %s: predicted p99 delay is unbounded (a subgroup on its worst path runs at ρ >= 1) against d_max_p99 %.1fus",
+				g.Chain.Name, bound*1e6), false
+		}
+		if worst > bound {
+			return fmt.Sprintf("chain %s: predicted p99 delay %.1fus exceeds d_max_p99 %.1fus",
+				g.Chain.Name, worst*1e6, bound*1e6), false
+		}
+	}
+	return "", true
+}
+
+// mm1P99WaitSec is the M/M/1 99th-percentile waiting time of one server
+// subgroup fed its chain's rate share: service rate μ = cores·clock/cycles
+// packets/sec, arrival rate λ = rate·weight/frame bits. Returns 0 for idle
+// or near-idle queues (100ρ <= 1) and +Inf at ρ >= 1.
+func mm1P99WaitSec(in *Input, sg *Subgroup, rateBps float64) float64 {
+	if sg.Cycles <= 0 || sg.Cores <= 0 {
+		return 0
+	}
+	mu := float64(sg.Cores) * in.clockHz() / sg.Cycles
+	lam := rateBps * sg.Weight / in.frameBits()
+	if lam >= mu {
+		return math.Inf(1)
+	}
+	rho := lam / mu
+	if 100*rho <= 1 {
+		return 0
+	}
+	return math.Log(100*rho) / (mu - lam)
+}

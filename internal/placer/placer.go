@@ -186,6 +186,13 @@ type Result struct {
 	Marginal           float64
 	PredictedAggregate float64
 
+	// PredictedP99Sec is the per-chain predicted 99th-percentile delay at
+	// the LP-assigned rates: the worst root-to-leaf path's fixed delay
+	// (execution, switch pipeline, hop latency) plus an M/M/1 p99 queueing
+	// estimate at every server subgroup the path crosses. +Inf marks a
+	// saturated subgroup (ρ >= 1). Filled only on feasible results.
+	PredictedP99Sec []float64
+
 	// Stages is the PISA compiler's verdict for this placement.
 	Stages int
 

@@ -40,6 +40,14 @@ type SimConfig struct {
 	QueueCap int
 	Seed     int64
 
+	// SchedPolicy selects the queue-drain discipline. "" (the default) and
+	// SchedEDF drain earliest-deadline-first by the metacompiler's subgroup
+	// slacks whenever a chain carries a delay SLO — with no deadlines both
+	// degenerate to the legacy order, byte-identical to pre-EDF runs.
+	// SchedRR forces round-robin even with deadlines (the baseline arm of
+	// the latency experiments). Anything else is an error.
+	SchedPolicy string
+
 	// Workers splits the run across worker goroutines that own disjoint
 	// connected components of the chain↔device steering graph (see
 	// buildSimPartition). The result — SimResult and metrics snapshot — is
@@ -119,6 +127,13 @@ type SimResult struct {
 	Injected         []int
 	Egressed         []int
 
+	// DeadlineCompliance is the per-chain fraction of egressed packets
+	// whose accumulated queue wait fit inside the chain's effective
+	// deadline (d_max, else d_max_p99); chains without a deadline report 1.
+	// Nil — and absent from the JSON encoding — when no chain carries a
+	// deadline, keeping deadline-free output byte-identical to pre-EDF runs.
+	DeadlineCompliance []float64 `json:",omitempty"`
+
 	// Failover carries the fault-injection outcome; nil unless the run was
 	// configured with a non-empty chaos plan.
 	Failover *FailoverReport `json:",omitempty"`
@@ -178,6 +193,9 @@ func (tb *Testbed) Simulate(offered []float64, cfg SimConfig) (*SimResult, error
 	}
 	if cfg.FlowScale < 0 {
 		return nil, fmt.Errorf("runtime: negative flow scale %d", cfg.FlowScale)
+	}
+	if _, err := cfg.schedEDF(); err != nil {
+		return nil, err
 	}
 	in := tb.D.Input
 	if len(offered) != len(in.Chains) {
@@ -370,5 +388,6 @@ func (tb *Testbed) Simulate(offered []float64, cfg SimConfig) (*SimResult, error
 			res.P99QueueDelaySec[ci] = quantileSelect(s, (len(s)*99)/100)
 		}
 	}
+	res.DeadlineCompliance = finalizeDeadlines(tb.D.Input.Chains, eng.delaySamples)
 	return res, nil
 }

@@ -171,6 +171,13 @@ func TestSimulateDelayMonotonic(t *testing.T) {
 	}
 }
 
+// quantileRef is the sort-based reference quantileSelect is checked against.
+func quantileRef(a []float64, k int) float64 {
+	b := append([]float64(nil), a...)
+	sort.Float64s(b)
+	return b[k]
+}
+
 // TestQuantileSelect checks quickselect returns exactly sort.Float64s+index
 // for random inputs, including duplicate-heavy ones.
 func TestQuantileSelect(t *testing.T) {
@@ -186,11 +193,66 @@ func TestQuantileSelect(t *testing.T) {
 			}
 		}
 		k := rng.Intn(n)
-		b := append([]float64(nil), a...)
-		sort.Float64s(b)
-		want := b[k]
+		want := quantileRef(a, k)
 		if got := quantileSelect(a, k); got != want {
 			t.Fatalf("trial %d: quantileSelect(n=%d, k=%d) = %v, want %v", trial, n, k, got, want)
+		}
+	}
+}
+
+// TestQuantileSelectTiny exhausts every k for every n below 100 on random,
+// duplicate-heavy, and constant inputs — the sizes the p99 index formula
+// (len*99)/100 collapses onto k=0 and off-by-ones would hide in.
+func TestQuantileSelectTiny(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for n := 1; n < 100; n++ {
+		fill := [][]float64{make([]float64, n), make([]float64, n), make([]float64, n)}
+		for i := 0; i < n; i++ {
+			fill[0][i] = rng.NormFloat64()
+			fill[1][i] = float64(rng.Intn(3))
+			fill[2][i] = 42
+		}
+		for _, a := range fill {
+			for k := 0; k < n; k++ {
+				in := append([]float64(nil), a...)
+				want := quantileRef(a, k)
+				if got := quantileSelect(in, k); got != want {
+					t.Fatalf("n=%d k=%d: got %v, want %v (input %v)", n, k, got, want, a)
+				}
+			}
+		}
+	}
+}
+
+// TestQuantileSelectAdversarial drives quickselect through deterministic
+// pivot-hostile shapes — sorted, reversed, organ-pipe, sawtooth, two-valued,
+// and near-constant-with-outlier inputs — at the extremes k=0, k=n-1, the
+// median, and the p99 index the simulator actually uses.
+func TestQuantileSelectAdversarial(t *testing.T) {
+	const n = 257
+	shapes := map[string]func(i int) float64{
+		"sorted":     func(i int) float64 { return float64(i) },
+		"reversed":   func(i int) float64 { return float64(n - i) },
+		"organpipe":  func(i int) float64 { return float64(min(i, n-1-i)) },
+		"sawtooth":   func(i int) float64 { return float64(i % 7) },
+		"twovalue":   func(i int) float64 { return float64(i & 1) },
+		"onehigh":    func(i int) float64 { return map[bool]float64{true: 1e12, false: 5}[i == n/2] },
+		"negstride":  func(i int) float64 { return float64(-i * 3) },
+		"zeros":      func(i int) float64 { return 0 },
+		"tinyfloats": func(i int) float64 { return float64(i%5) * 1e-300 },
+	}
+	ks := []int{0, 1, n / 2, n - 2, n - 1, (n * 99) / 100}
+	for name, gen := range shapes {
+		a := make([]float64, n)
+		for i := range a {
+			a[i] = gen(i)
+		}
+		for _, k := range ks {
+			in := append([]float64(nil), a...)
+			want := quantileRef(a, k)
+			if got := quantileSelect(in, k); got != want {
+				t.Fatalf("%s k=%d: got %v, want %v", name, k, got, want)
+			}
 		}
 	}
 }

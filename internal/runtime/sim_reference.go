@@ -11,6 +11,7 @@ import (
 	"lemur/internal/nsh"
 	"lemur/internal/obs"
 	"lemur/internal/pisa"
+	"lemur/internal/placer"
 	"lemur/internal/profile"
 )
 
@@ -25,6 +26,10 @@ func (tb *Testbed) simulateReference(offered []float64, cfg SimConfig) (*SimResu
 	in := tb.D.Input
 	if len(offered) != len(in.Chains) {
 		return nil, fmt.Errorf("runtime: offered %d rates for %d chains", len(offered), len(in.Chains))
+	}
+	edf, err := cfg.schedEDF()
+	if err != nil {
+		return nil, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed*17 + 3))
 	env := &nf.Env{Rand: rng}
@@ -75,6 +80,22 @@ func (tb *Testbed) simulateReference(offered []float64, cfg SimConfig) (*SimResu
 		costOf[sub] = cost
 		budgetOf[sub] = float64(psg.Cores) * srv.ClockHz * cfg.StepSec / cfg.Scale
 	}
+
+	// Drain order: the same EDF permutation the fast engine computes —
+	// deadline-bearing subgroups first by ascending slack, everything else
+	// in name order. Identity (primaries order) for deadline-free runs.
+	drainIdx := make([]int32, len(primaries))
+	for i := range drainIdx {
+		drainIdx[i] = int32(i)
+	}
+	var slacks map[*placer.Subgroup]float64
+	if edf {
+		slacks = tb.D.DeadlineSlacks()
+	}
+	drainIdx = drainOrder(drainIdx, func(pi int32) (float64, bool) {
+		s, ok := slacks[tb.D.SubgroupOf[primaries[pi]]]
+		return s, ok
+	})
 
 	// Per-subgroup and per-core metric handles, hoisted so the step loop
 	// pays one atomic branch per observation. Handle slices are indexed in
@@ -240,7 +261,8 @@ func (tb *Testbed) simulateReference(offered []float64, cfg SimConfig) (*SimResu
 			stepCredit[pi] = credit[sub]
 		}
 		// Drain queues first (FIFO), oldest packets retain their wait time.
-		for pi, sub := range primaries {
+		for _, pi := range drainIdx {
+			sub := primaries[pi]
 			q := queues[sub]
 			qDepthH[pi].Observe(float64(len(q)))
 			if len(q) == 0 {
@@ -310,6 +332,7 @@ func (tb *Testbed) simulateReference(offered []float64, cfg SimConfig) (*SimResu
 			res.P99QueueDelaySec[ci] = s[(len(s)*99)/100]
 		}
 	}
+	res.DeadlineCompliance = finalizeDeadlines(in.Chains, delaySamples)
 	return res, nil
 }
 

@@ -40,6 +40,12 @@ type simShard struct {
 
 	prims  []int32
 	chains []int32
+
+	// drain is the order stepShard sweeps the owned subgroup queues in:
+	// prims itself for deadline-free (or forced round-robin) runs, an EDF
+	// permutation of it when resident subgroups carry deadline slacks.
+	// Rebuilt by refreshDrainOrder after every prims reassignment.
+	drain []int32
 }
 
 func (sh *simShard) getPkt() *simPacket {
@@ -125,8 +131,11 @@ func (eng *simEngine) regForOwner(owner int32) *obs.Registry {
 // the step loop pays one atomic branch per observation. Handle slices are
 // indexed in primaries (sorted) order, keeping observation order — and
 // therefore histogram float sums — deterministic for a fixed seed. A
-// mid-run rewire re-hoists them for the new primary set.
+// mid-run rewire re-hoists them for the new primary set. It is the single
+// choke point after every shard-primary (re)assignment, so it also
+// refreshes the per-shard EDF drain order (see refreshDrainOrder).
 func (eng *simEngine) hoistHandles() {
+	defer eng.refreshDrainOrder()
 	ix := eng.ix
 	eng.qDepthH = make([]*obs.Histogram, ix.nPrimary)
 	eng.qDelayH = make([]*obs.Histogram, ix.nPrimary)
@@ -357,9 +366,11 @@ func (eng *simEngine) resume(sh *simShard, p *simPacket, pl *bess.Pipeline, now 
 // queue drains (FIFO, oldest wait times retained, one subgroup's backlog
 // served back-to-back so its pipeline and NF state stay hot), new
 // arrivals in per-chain bursts over pooled buffers, then per-core
-// utilization. With one shard owning everything this IS the serial step;
-// with many, each shard executes the serial schedule's restriction to its
-// components, which touch disjoint state.
+// utilization. The drain sweep walks sh.drain — index order normally, the
+// EDF slack order when deadlines are present — while every other loop
+// keeps index order. With one shard owning everything this IS the serial
+// step; with many, each shard executes the serial schedule's restriction
+// to its components, which touch disjoint state.
 func (eng *simEngine) stepShard(sh *simShard, now float64) error {
 	cfg := eng.cfg
 	sh.env.NowSec = now
@@ -374,7 +385,7 @@ func (eng *simEngine) stepShard(sh *simShard, now float64) error {
 		eng.credit[pi] = c
 		eng.stepCredit[pi] = c
 	}
-	for _, pi := range sh.prims {
+	for _, pi := range sh.drain {
 		r := &eng.rings[pi]
 		eng.qDepthH[pi].Observe(float64(r.n))
 		if r.n == 0 {

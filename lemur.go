@@ -53,17 +53,29 @@ const (
 	SchemeGreedy      Scheme = Scheme(placer.SchemeGreedy)
 )
 
+// Scheduler policies for WithSchedPolicy.
+const (
+	// SchedEDF drains simulated subgroup queues earliest-deadline-first by
+	// the metacompiler's per-subgroup slack whenever a chain carries a delay
+	// SLO (d_max or d_max_p99). This is also the default behavior.
+	SchedEDF = runtime.SchedEDF
+	// SchedRR forces the legacy round-robin drain order even when chains
+	// carry deadlines (the baseline arm of the latency experiments).
+	SchedRR = runtime.SchedRR
+)
+
 // Option configures a System at construction.
 type Option func(*options)
 
 type options struct {
-	topoOpts   []hw.TestbedOption
-	scheme     placer.Scheme
-	restrict   map[string][]hw.Platform
-	seed       int64
-	parallel   int
-	headroom   int
-	simWorkers int
+	topoOpts    []hw.TestbedOption
+	scheme      placer.Scheme
+	restrict    map[string][]hw.Platform
+	seed        int64
+	parallel    int
+	headroom    int
+	simWorkers  int
+	schedPolicy string
 }
 
 // WithSmartNIC attaches a 40G eBPF SmartNIC to the first server.
@@ -124,6 +136,14 @@ func WithSimWorkers(n int) Option {
 	return func(o *options) { o.simWorkers = n }
 }
 
+// WithSchedPolicy selects the simulator's queue-drain discipline for every
+// simulation run (Simulate, SimulateWithFaults, SimulateChurn): SchedEDF
+// (also the default for the empty string) or SchedRR. Deadline-free chain
+// sets behave identically under both.
+func WithSchedPolicy(policy string) Option {
+	return func(o *options) { o.schedPolicy = policy }
+}
+
 // WithAdmissionHeadroom reserves cores worker cores per server that the
 // placer's throughput-maximizing spare-core pour will not touch, keeping
 // budget free for chains admitted later (SimulateChurn, placer.Admit). The
@@ -138,6 +158,9 @@ func WithAdmissionHeadroom(cores int) Option {
 // (a Tofino-class ToR plus Xeon NF servers).
 type System struct {
 	sys *core.System
+	// schedPolicy is the WithSchedPolicy drain discipline, threaded into
+	// every simulate run.
+	schedPolicy string
 }
 
 // New builds a System over the paper's testbed, customized by options.
@@ -153,7 +176,7 @@ func New(opts ...Option) *System {
 	sys.Parallel = o.parallel
 	sys.Headroom = o.headroom
 	sys.SimWorkers = o.simWorkers
-	return &System{sys: sys}
+	return &System{sys: sys, schedPolicy: o.schedPolicy}
 }
 
 // LoadSpec parses NF chain specification text (see the nfspec language in
@@ -179,7 +202,7 @@ func (s *System) Deploy() (*Deployment, error) {
 		return nil, err
 	}
 	d, _ := s.sys.Compile() // already cached by Deploy
-	return &Deployment{tb: tb, dep: d, workers: s.sys.SimWorkers}, nil
+	return &Deployment{tb: tb, dep: d, workers: s.sys.SimWorkers, schedPolicy: s.schedPolicy}, nil
 }
 
 // Placement reports where every NF landed and what the chains will get.
@@ -298,6 +321,9 @@ type Deployment struct {
 	dep *metacompiler.Deployment
 	// workers is the System's SimWorkers, threaded into every simulate run.
 	workers int
+	// schedPolicy is the System's scheduler policy (WithSchedPolicy),
+	// threaded into every simulate run.
+	schedPolicy string
 }
 
 // TrafficReport summarizes a packet-walk verification.
@@ -370,10 +396,14 @@ type SimReport struct {
 	DropRate         []float64
 	AvgQueueDelaySec []float64
 	P99QueueDelaySec []float64
-	Injected         []int
-	Egressed         []int
-	Failover         *FailoverOutcome
-	Churn            *ChurnOutcome
+	// DeadlineCompliance is the per-chain fraction of egressed packets whose
+	// queueing delay met the chain's d_max / d_max_p99 deadline. Nil when no
+	// chain declares a deadline.
+	DeadlineCompliance []float64
+	Injected           []int
+	Egressed           []int
+	Failover           *FailoverOutcome
+	Churn              *ChurnOutcome
 }
 
 // FailoverOutcome reports a fault-injection run: which scheduled events
@@ -462,7 +492,7 @@ func (s *System) SimulateChurn(loadFactor float64, schedule string) (*SimReport,
 	}
 	sim, err := tb.Simulate(offered, runtime.SimConfig{
 		Seed: tb.Seed, DurationSec: 0.5, Churn: plan, ChurnCatalog: catalog,
-		Workers: s.sys.SimWorkers,
+		Workers: s.sys.SimWorkers, SchedPolicy: s.schedPolicy,
 	})
 	if err != nil {
 		return nil, err
@@ -501,7 +531,10 @@ func (d *Deployment) simulate(loadFactor float64, plan *chaos.Plan) (*SimReport,
 	for i, r := range d.dep.Result.ChainRates {
 		offered[i] = r * loadFactor
 	}
-	sim, err := d.tb.Simulate(offered, runtime.SimConfig{Seed: d.tb.Seed, DurationSec: 0.5, Faults: plan, Workers: d.workers})
+	sim, err := d.tb.Simulate(offered, runtime.SimConfig{
+		Seed: d.tb.Seed, DurationSec: 0.5, Faults: plan,
+		Workers: d.workers, SchedPolicy: d.schedPolicy,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -512,12 +545,13 @@ func (d *Deployment) simulate(loadFactor float64, plan *chaos.Plan) (*SimReport,
 // report shape.
 func newSimReport(sim *runtime.SimResult) *SimReport {
 	rep := &SimReport{
-		AchievedBps:      sim.AchievedBps,
-		DropRate:         sim.DropRate,
-		AvgQueueDelaySec: sim.AvgQueueDelaySec,
-		P99QueueDelaySec: sim.P99QueueDelaySec,
-		Injected:         sim.Injected,
-		Egressed:         sim.Egressed,
+		AchievedBps:        sim.AchievedBps,
+		DropRate:           sim.DropRate,
+		AvgQueueDelaySec:   sim.AvgQueueDelaySec,
+		P99QueueDelaySec:   sim.P99QueueDelaySec,
+		DeadlineCompliance: sim.DeadlineCompliance,
+		Injected:           sim.Injected,
+		Egressed:           sim.Egressed,
 	}
 	if fo := sim.Failover; fo != nil {
 		rep.Failover = &FailoverOutcome{
