@@ -14,7 +14,7 @@ echo "==> docs gate (scripts/check_docs.sh)"
 ./scripts/check_docs.sh
 
 echo "==> godoc coverage (tools/doccheck)"
-go run ./tools/doccheck ./internal/placer ./internal/metacompiler ./internal/runtime .
+go run ./tools/doccheck ./internal/placer ./internal/metacompiler ./internal/runtime ./internal/daemon .
 
 echo "==> go build ./..."
 go build ./...
@@ -28,8 +28,18 @@ go test -race ./...
 # million-flow state layer (sharded NF tables, arena flow schedules) get an
 # extra race pass with their property tests un-shortened (the ./... run
 # above may cache).
-echo "==> go test -race -count=1 ./internal/placer ./internal/experiments ./internal/runtime ./internal/chaos ./internal/churn ./internal/metacompiler ./internal/nf ./internal/trafficgen"
-go test -race -count=1 ./internal/placer ./internal/experiments ./internal/runtime ./internal/chaos ./internal/churn ./internal/metacompiler ./internal/nf ./internal/trafficgen
+echo "==> go test -race -count=1 ./internal/placer ./internal/experiments ./internal/runtime ./internal/chaos ./internal/churn ./internal/metacompiler ./internal/nf ./internal/trafficgen ./internal/daemon"
+go test -race -count=1 ./internal/placer ./internal/experiments ./internal/runtime ./internal/chaos ./internal/churn ./internal/metacompiler ./internal/nf ./internal/trafficgen ./internal/daemon
+
+# Control-plane guards: the daemon's reconcile properties (idempotence,
+# convergence over random op sequences, rejected-spec isolation, snapshot
+# round-trip) and the end-to-end daemon scenario (fake clock, unix-socket
+# API, chaos crash, Prometheus endpoint) get a named race pass so the
+# lemurd path cannot be skipped by test caching.
+echo "==> control-plane daemon guards (race)"
+go test -race -count=1 \
+  -run 'TestReconcileIdempotent|TestConvergenceRandomSequences|TestRejectedSpecIsolation|TestSnapshotRoundTrip|TestEndToEndDaemon|TestReconcileSweepDeterministic' \
+  ./internal/daemon ./internal/experiments
 
 # Fuzz smoke: ten seconds of FuzzReplace exercises the incremental
 # re-placement invariants (pinning, no-failure identity) beyond the seed
@@ -95,6 +105,18 @@ deadline=$(awk '$1 ~ /internal\/bess\/scheduler\.go|internal\/metacompiler\/dead
 echo "    deadline-file coverage: ${deadline}%"
 awk -v t="$deadline" -v f="$DEADLINE_FLOOR" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || {
   echo "ci: deadline-file coverage ${deadline}% fell below the ${DEADLINE_FLOOR}% floor" >&2
+  exit 1
+}
+
+# The control-plane daemon (spec validation, reconcile loop, snapshot,
+# watch dir, status/API surface) gets its own aggregate floor so the lemurd
+# path cannot silently lose its tests.
+DAEMON_FLOOR=75.0
+daemon=$(awk '$1 ~ /internal\/daemon\// { total += $2; if ($3 > 0) covered += $2 }
+  END { if (total > 0) printf "%.1f", 100 * covered / total; else print 0 }' /tmp/lemur-cover.out)
+echo "    daemon-file coverage: ${daemon}%"
+awk -v t="$daemon" -v f="$DAEMON_FLOOR" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || {
+  echo "ci: daemon-file coverage ${daemon}% fell below the ${DAEMON_FLOOR}% floor" >&2
   exit 1
 }
 

@@ -13,6 +13,7 @@
 //	lemur-bench -feasibility      # feasible-solution shares per scheme
 //	lemur-bench -failover         # SLO compliance under k server failures
 //	lemur-bench -churn            # admission capacity: incremental vs repack
+//	lemur-bench -reconcile        # lemurd control-plane convergence table
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"text/tabwriter"
+	"time"
 
 	"lemur/internal/experiments"
 	"lemur/internal/hw"
@@ -57,10 +59,16 @@ func main() {
 		coresPkts   = flag.Int("cores-pkts", 10_000_000, "with -cores: target packet count for the measured point")
 		placeScale  = flag.Bool("place-scale", false, "placement solve-time curve: 4..256 servers × chain counts, all schemes, with branch-and-bound search stats")
 		placeOut    = flag.String("place-scale-out", "", "with -place-scale: also write the curve to this JSON path (BENCH_6.json)")
+		reconcile   = flag.Bool("reconcile", false, "lemurd control-plane convergence sweep: scripted reconcile scenarios run to convergence on a fake clock")
+		reconOut    = flag.String("reconcile-out", "", "with -reconcile: also write the convergence table to this JSON path (BENCH_8.json)")
+		reconIvl    = flag.Duration("reconcile-interval", 100*time.Millisecond, "with -reconcile: the daemons' reconcile period; must be positive")
 	)
 	flag.Parse()
 	if *simWorkers < 1 {
 		fatal(fmt.Errorf("-sim-workers must be a positive worker count, got %d", *simWorkers))
+	}
+	if *reconcile && *reconIvl <= 0 {
+		fatal(fmt.Errorf("-reconcile-interval must be positive, got %v", *reconIvl))
 	}
 	if *cores && *coresFlows <= 0 {
 		fatal(fmt.Errorf("-cores-flows must be a positive flow count, got %d", *coresFlows))
@@ -97,6 +105,8 @@ func main() {
 		runFailover(*parallel, *simWorkers)
 	case *churnBench:
 		runChurnBench(*parallel)
+	case *reconcile:
+		runReconcile(*parallel, *reconIvl, *reconOut)
 	case *figure != "":
 		runFigure(*figure, deltas, *quick)
 	case *table == "3":

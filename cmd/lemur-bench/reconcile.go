@@ -1,0 +1,64 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"lemur/internal/experiments"
+)
+
+// reconcileReport is the -reconcile-out JSON document (BENCH_8.json): the
+// lemurd control-plane convergence table — one row per scripted reconcile
+// scenario, each run to convergence on a fake clock. Everything except the
+// rows' wall_ns fields is deterministic at any -parallel value.
+type reconcileReport struct {
+	Parallel    int                          `json:"parallel"`
+	IntervalSec float64                      `json:"interval_sec"`
+	Meta        runMeta                      `json:"meta"`
+	Rows        []experiments.ReconcilePoint `json:"rows"`
+}
+
+// runReconcile is the -reconcile command: run the control-plane convergence
+// sweep at the given reconcile interval, print the table, and optionally
+// write BENCH_8.json.
+func runReconcile(parallel int, interval time.Duration, path string) {
+	points, err := experiments.ReconcileSweep(interval, parallel)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("lemurd reconcile convergence at interval %v (fake clock)\n", interval)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "scenario\tbase\tops\tticks\tconverge\tpinned\treconciles\tapplies\tbackoff\trejected\t")
+	for _, p := range points {
+		conv := fmt.Sprintf("%.1fs", p.ConvergeSimSec)
+		if !p.Converged {
+			conv = "DIVERGED"
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%s\t%d\t%d\t%d\t%d\t%d\t\n",
+			p.Scenario, p.BaseChains, p.Ops, p.Ticks, conv, p.PinnedSubgroups,
+			p.Reconciles, p.Applies, p.BackoffRetries, p.RejectedSpecs)
+	}
+	w.Flush()
+
+	if path == "" {
+		return
+	}
+	report := reconcileReport{
+		Parallel:    parallel,
+		IntervalSec: interval.Seconds(),
+		Meta:        newRunMeta(parallel, 0),
+		Rows:        points,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"lemur/internal/daemon"
+)
+
+// startTestDaemon serves a real daemon's API on a unix socket and returns
+// the socket path plus the daemon for manual ticking.
+func startTestDaemon(t *testing.T) (string, *daemon.Daemon) {
+	t.Helper()
+	dir, err := os.MkdirTemp("", "lemurd") // t.TempDir can exceed sun_path
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	sock := filepath.Join(dir, "d.sock")
+	d, err := daemon.New(daemon.Config{
+		Interval: 100 * time.Millisecond,
+		Clock:    daemon.NewFakeClock(time.Unix(1700000000, 0)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: d.Handler()}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return sock, d
+}
+
+const clientTestSpec = `{
+  "chains": "chain alpha {\n  slo { tmin = 2Gbps  tmax = 100Gbps }\n  aggregate { src = 10.1.0.0/16 }\n  mon0 = Monitor()\n  fwd0 = IPv4Fwd()\n  mon0 -> fwd0\n}",
+  "hardware": {"servers": 2},
+  "placement": {"headroom_cores": 4}
+}`
+
+// TestClientApplyAndStatus drives the apply and status subcommands end to
+// end over a live socket: apply a spec file, tick the daemon, and render
+// the status in both table and JSON form.
+func TestClientApplyAndStatus(t *testing.T) {
+	sock, d := startTestDaemon(t)
+	specFile := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(specFile, []byte(clientTestSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	runApply([]string{"-socket", sock, "-f", specFile})
+	if got := d.Generation(); got != 1 {
+		t.Fatalf("apply generation = %d, want 1", got)
+	}
+	if rr := d.Tick(); !rr.Converged {
+		t.Fatalf("tick after apply: %+v", rr)
+	}
+
+	runStatus([]string{"-socket", sock})
+	runStatus([]string{"-socket", sock, "-json"})
+
+	if body := get(sock, "/v1/status"); len(body) == 0 {
+		t.Fatal("empty /v1/status body")
+	}
+	if body := get(sock, "/healthz"); string(body) != "ok\n" {
+		t.Fatalf("healthz over client: %q", body)
+	}
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestValidateDaemonFlags: every malformed flag combination is rejected
+// with a message naming the offending flag, before any daemon state is
+// touched.
+func TestValidateDaemonFlags(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "plain-file")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name       string
+		socket     string
+		watch      string
+		interval   time.Duration
+		maxBackoff time.Duration
+		wantErr    string // "" = valid
+	}{
+		{"valid minimal", "/tmp/l.sock", "", time.Second, 10 * time.Second, ""},
+		{"valid with watch dir", "/tmp/l.sock", dir, time.Second, 10 * time.Second, ""},
+		{"missing socket", "", "", time.Second, 10 * time.Second, "-socket is required"},
+		{"socket over sun_path limit", "/tmp/" + strings.Repeat("x", 120), "", time.Second, 10 * time.Second, "sun_path"},
+		{"zero interval", "/tmp/l.sock", "", 0, 10 * time.Second, "-interval must be positive"},
+		{"negative interval", "/tmp/l.sock", "", -time.Second, 10 * time.Second, "-interval must be positive"},
+		{"zero max-backoff", "/tmp/l.sock", "", time.Second, 0, "-max-backoff must be positive"},
+		{"negative max-backoff", "/tmp/l.sock", "", time.Second, -time.Second, "-max-backoff must be positive"},
+		{"watch dir missing", "/tmp/l.sock", filepath.Join(dir, "nope"), time.Second, 10 * time.Second, "-watch"},
+		{"watch path is a file", "/tmp/l.sock", file, time.Second, 10 * time.Second, "not a directory"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateDaemonFlags(tc.socket, tc.watch, tc.interval, tc.maxBackoff)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("want valid, got %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("want error containing %q, got %q", tc.wantErr, err)
+			}
+		})
+	}
+}

@@ -1,0 +1,228 @@
+package daemon
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"lemur/internal/chaos"
+	"lemur/internal/obs"
+)
+
+func parseChaos(t *testing.T, sched string) *chaos.Plan {
+	t.Helper()
+	plan, err := chaos.Parse(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// unixSocketPath returns a short-lived socket path under /tmp (t.TempDir
+// can exceed the 100-byte sun_path limit).
+func unixSocketPath(t *testing.T) string {
+	t.Helper()
+	dir, err := os.MkdirTemp("", "lemurd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	return filepath.Join(dir, "d.sock")
+}
+
+// TestEndToEndDaemon is the acceptance-criteria scenario: start the daemon
+// under a fake clock with a chaos plan, apply a 2-chain spec over the unix
+// socket, advance time until the planned crash fires, and assert the loop
+// converges to a compliant deployment while the Prometheus endpoint reports
+// the reconcile counters.
+func TestEndToEndDaemon(t *testing.T) {
+	obs.Enable()
+	clk := NewFakeClock(time.Unix(1700000000, 0))
+	ticks := make(chan *ReconcileResult)
+	d, err := New(Config{
+		Interval:   100 * time.Millisecond,
+		Clock:      clk,
+		ChaosPlan:  parseChaos(t, "crash:nf-server-1@0.3s"),
+		TickNotify: ticks,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sock := unixSocketPath(t)
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: d.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go d.Run(ctx)
+	step := func() *ReconcileResult {
+		t.Helper()
+		clk.BlockUntil(1)
+		clk.Advance(100 * time.Millisecond)
+		select {
+		case rr := <-ticks:
+			return rr
+		case <-time.After(10 * time.Second):
+			t.Fatal("tick timed out")
+			return nil
+		}
+	}
+	// Run's first tick fires before any sleep.
+	select {
+	case <-ticks:
+	case <-time.After(10 * time.Second):
+		t.Fatal("first tick timed out")
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		DialContext: func(ctx context.Context, _, _ string) (net.Conn, error) {
+			var nd net.Dialer
+			return nd.DialContext(ctx, "unix", sock)
+		},
+	}}
+	req, _ := http.NewRequest(http.MethodPut, "http://d/v1/spec", strings.NewReader(string(specDoc(t, []string{"alpha", "beta"}))))
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT /v1/spec: %s", resp.Status)
+	}
+
+	// Tick 2 (elapsed 0.1s): the spec applies, both chains admitted.
+	rr := step()
+	if !rr.Converged || len(rr.Admitted) != 2 {
+		t.Fatalf("apply tick: want 2 admits converged, got %+v", rr)
+	}
+	// Tick 3 (0.2s): idempotent. Tick 4 (0.3s): the chaos crash fires and
+	// is replaced in the same pass.
+	if rr = step(); len(rr.Admitted)+len(rr.Retired)+len(rr.Replaced) != 0 {
+		t.Fatalf("quiet tick mutated: %+v", rr)
+	}
+	rr = step()
+	if len(rr.ChaosFired) != 1 || rr.ChaosFired[0] != "nf-server-1" {
+		t.Fatalf("chaos did not fire at 0.3s: %+v", rr)
+	}
+	if !rr.Converged || len(rr.Replaced) != 1 {
+		t.Fatalf("crash not absorbed: %+v", rr)
+	}
+
+	// Status over the socket: all chains compliant, none on the dead server.
+	sresp, err := client.Get("http://d/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Status
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if !st.Converged || len(st.Chains) != 2 {
+		t.Fatalf("status: want 2 converged chains, got %+v", st)
+	}
+	for _, c := range st.Chains {
+		if !c.SLOMet {
+			t.Fatalf("chain %s misses its SLO after failover", c.Name)
+		}
+		for _, srv := range c.Servers {
+			if srv == "nf-server-1" {
+				t.Fatalf("chain %s still on the crashed server", c.Name)
+			}
+		}
+	}
+	if len(st.FailedNodes) == 0 || st.FailedNodes[0] != "nf-server-1" {
+		t.Fatalf("status failed_nodes: %v", st.FailedNodes)
+	}
+
+	// The Prometheus endpoint exports the reconcile counters continuously.
+	mresp, err := client.Get("http://d/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, metric := range []string{
+		"lemurd_reconciles_total",
+		"lemurd_applies_total",
+		"lemurd_apply_latency_seconds",
+		"lemurd_actual_chains",
+		"lemurd_converged",
+		"lemurd_failed_nodes",
+	} {
+		if !strings.Contains(string(prom), metric) {
+			t.Fatalf("/metrics missing %s:\n%s", metric, prom)
+		}
+	}
+
+	// healthz + method discipline.
+	hresp, err := client.Get("http://d/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, _ := io.ReadAll(hresp.Body)
+	hresp.Body.Close()
+	if string(hb) != "ok\n" {
+		t.Fatalf("healthz: %q", hb)
+	}
+	bresp, err := client.Post("http://d/v1/status", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, bresp.Body)
+	bresp.Body.Close()
+	if bresp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/status: want 405, got %s", bresp.Status)
+	}
+}
+
+// TestAPIFailEndpoint: POST /v1/fail injects failures exactly like the
+// chaos plan, and a rejected body changes nothing.
+func TestAPIFailEndpoint(t *testing.T) {
+	d, _ := newTestDaemon(t, nil)
+	if _, err := d.SetSpec(specDoc(t, []string{"alpha"}), "test"); err != nil {
+		t.Fatal(err)
+	}
+	if rr := d.Tick(); !rr.Converged {
+		t.Fatalf("initial apply: %+v", rr)
+	}
+	srv := http.Handler(d.Handler())
+
+	do := func(body string) int {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodPost, "http://d/v1/fail", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		return rec.Code
+	}
+	if code := do(`{"nodes": []}`); code != http.StatusBadRequest {
+		t.Fatalf("empty nodes: want 400, got %d", code)
+	}
+	if code := do(`{"nodes": ["nf-server-9"]}`); code != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown node: want 422, got %d", code)
+	}
+	if code := do(`{"nodes": ["nf-server-1"]}`); code != http.StatusAccepted {
+		t.Fatalf("valid failure: want 202, got %d", code)
+	}
+	if rr := d.Tick(); !rr.Converged || len(rr.Replaced) != 1 {
+		t.Fatalf("injected failure not replaced: %+v", rr)
+	}
+}

@@ -1,0 +1,403 @@
+package daemon
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"lemur/internal/hw"
+	"lemur/internal/metacompiler"
+	"lemur/internal/nfgraph"
+	"lemur/internal/placer"
+)
+
+// ReconcileResult reports what one level-triggered pass did. Every field is
+// a pure function of the daemon's inputs when driven by a FakeClock, which
+// is what makes the reconcile loop benchmarkable (experiments.ReconcileSweep
+// asserts byte-identical result sequences at any placer parallelism).
+type ReconcileResult struct {
+	// Generation is the desired-state generation the pass reconciled
+	// toward; AppliedGen the generation actual state matches after it.
+	Generation int64 `json:"generation"`
+	AppliedGen int64 `json:"applied_generation"`
+	// Converged reports desired == actual with all failures handled.
+	Converged bool `json:"converged"`
+	// ChaosFired lists chaos-plan crash targets injected this pass.
+	ChaosFired []string `json:"chaos_fired,omitempty"`
+	// Admitted, Retired, and Replaced list the chain names admitted and
+	// retired and the failure names driven through placer.Replace.
+	Admitted []string `json:"admitted,omitempty"`
+	Retired  []string `json:"retired,omitempty"`
+	Replaced []string `json:"replaced,omitempty"`
+	// Repacked reports that the pass applied a full repack (AllowRepack).
+	Repacked bool `json:"repacked,omitempty"`
+	// PinnedSubgroups counts subgroups carried by pointer through this
+	// pass's admission — the zero-disruption measure.
+	PinnedSubgroups int `json:"pinned_subgroups,omitempty"`
+	// Err is the transient failure that put the loop into backoff, if any;
+	// BackoffUntil is the earliest retry instant (zero when not backing
+	// off).
+	Err          string    `json:"err,omitempty"`
+	BackoffUntil time.Time `json:"backoff_until"`
+}
+
+// Tick runs one reconcile pass: poll the watched directory, fire due
+// chaos-plan crashes, then diff desired vs. actual and apply. It is the
+// level-triggered unit Run repeats every Interval; tests call it directly.
+func (d *Daemon) Tick() *ReconcileResult {
+	d.pollWatch()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	fired := d.fireChaosLocked(d.clock.Now())
+	rr := d.reconcileLocked()
+	rr.ChaosFired = fired
+	return rr
+}
+
+// Run drives Tick every Config.Interval until ctx is done. When
+// Config.TickNotify is set, every result is sent (blocking) before the next
+// sleep — with a FakeClock this lets a test advance time in lockstep:
+// receive a result, BlockUntil(1), Advance(Interval), receive the next.
+func (d *Daemon) Run(ctx context.Context) {
+	for {
+		rr := d.Tick()
+		if d.cfg.TickNotify != nil {
+			select {
+			case d.cfg.TickNotify <- rr:
+			case <-ctx.Done():
+				return
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-d.clock.After(d.cfg.Interval):
+		}
+	}
+}
+
+// reconcileLocked is one pass over the desired-vs-actual diff, with the
+// backoff gate in front of the apply.
+func (d *Daemon) reconcileLocked() *ReconcileResult {
+	now := d.clock.Now()
+	d.counters.Reconciles++
+	mReconciles.Inc()
+	rr := &ReconcileResult{Generation: d.generation, AppliedGen: d.appliedGen}
+
+	if d.desired == nil {
+		d.converged = d.st == nil
+		rr.Converged = d.converged
+		d.setGaugesLocked()
+		return rr
+	}
+
+	if d.backoff.active {
+		fresh := d.backoff.gen != d.generation || d.backoff.failKey != d.failKeyLocked()
+		if !fresh && now.Before(d.backoff.until) {
+			rr.Err = d.backoff.lastErr
+			rr.BackoffUntil = d.backoff.until
+			d.setGaugesLocked()
+			return rr
+		}
+		// Deadline passed, or the inputs that failed changed: retry now.
+		d.counters.BackoffRetries++
+		mBackoffRetries.Inc()
+	}
+
+	applyStart := time.Now()
+	mutated, err := d.applyLocked(rr)
+	if mutated {
+		d.counters.Applies++
+		mApplies.Inc()
+		mApplyLatency.Observe(time.Since(applyStart).Seconds())
+	}
+	if err != nil {
+		d.counters.Errors++
+		mReconcileErrs.Inc()
+		d.lastErr = err.Error()
+		rr.Err = err.Error()
+		d.converged = false
+		d.armBackoffLocked(now, err)
+		rr.BackoffUntil = d.backoff.until
+	} else {
+		d.lastErr = ""
+		d.backoff = backoffState{}
+		d.appliedGen = d.generation
+		d.converged = true
+		rr.AppliedGen = d.appliedGen
+		rr.Converged = true
+	}
+	d.setGaugesLocked()
+	return rr
+}
+
+// armBackoffLocked schedules the next retry after a transient failure:
+// exponential from one Interval, doubling per consecutive failure of the
+// same (generation, failure-set) inputs, capped at MaxBackoff. A failure of
+// different inputs restarts the exponential.
+func (d *Daemon) armBackoffLocked(now time.Time, err error) {
+	key := d.failKeyLocked()
+	if d.backoff.active && d.backoff.gen == d.generation && d.backoff.failKey == key {
+		d.backoff.failures++
+	} else {
+		d.backoff = backoffState{failures: 1, gen: d.generation, failKey: key}
+	}
+	d.backoff.active = true
+	d.backoff.lastErr = err.Error()
+	delay := d.cfg.Interval
+	for i := 1; i < d.backoff.failures && delay < d.cfg.MaxBackoff; i++ {
+		delay *= 2
+	}
+	if delay > d.cfg.MaxBackoff {
+		delay = d.cfg.MaxBackoff
+	}
+	d.backoff.until = now.Add(delay)
+}
+
+// setGaugesLocked refreshes the lemurd_* gauges from current state.
+func (d *Daemon) setGaugesLocked() {
+	gGeneration.Set(float64(d.generation))
+	gAppliedGen.Set(float64(d.appliedGen))
+	if d.desired != nil {
+		gDesiredChains.Set(float64(len(d.desired.graphs)))
+	}
+	active, free, dead := 0, 0, 0
+	if d.st != nil {
+		for _, s := range d.st.slots {
+			if !s.Retired {
+				active++
+			}
+		}
+		free = d.freeCoresLocked()
+		dead = len(d.st.dead)
+	}
+	gActualChains.Set(float64(active))
+	gHeadroomFree.Set(float64(free))
+	gFailedNodes.Set(float64(dead))
+	if d.converged {
+		gConverged.Set(1)
+	} else {
+		gConverged.Set(0)
+	}
+}
+
+// restrictFor maps the spec's FwdP4Only knob onto the placer's platform
+// restriction (the evaluation setting pins IPv4Fwd to the PISA switch).
+func restrictFor(s *Spec) map[string][]hw.Platform {
+	if !s.fwdP4Only() {
+		return nil
+	}
+	return map[string][]hw.Platform{"IPv4Fwd": {hw.PISA}}
+}
+
+// applyLocked drives the actual state toward d.desired: first apply via
+// placer.Place + metacompiler.Compile, then per-pass retire → admit →
+// replace. It reports whether the running deployment changed. On error the
+// already-applied steps stand (the loop is level-triggered — the next pass
+// recomputes the remaining diff and the backoff gate paces the retry).
+func (d *Daemon) applyLocked(rr *ReconcileResult) (bool, error) {
+	vs := d.desired
+	mutated := false
+
+	// First apply: place and compile the whole desired chain set.
+	if d.st == nil {
+		topo := vs.spec.topology()
+		in := &placer.Input{
+			Chains:        append([]*nfgraph.Graph(nil), vs.graphs...),
+			Topo:          topo,
+			DB:            defaultDB(),
+			Restrict:      restrictFor(vs.spec),
+			Parallel:      vs.spec.Placement.Parallel,
+			HeadroomCores: vs.spec.Placement.HeadroomCores,
+		}
+		res, err := placer.Place(vs.spec.scheme(), in)
+		if err != nil {
+			return false, fmt.Errorf("initial placement: %w", err)
+		}
+		if !res.Feasible {
+			return false, fmt.Errorf("initial placement infeasible: %s", res.Reason)
+		}
+		dep, err := metacompiler.Compile(in, res)
+		if err != nil {
+			return false, fmt.Errorf("initial compile: %w", err)
+		}
+		st := &actualState{
+			topo:    topo,
+			in:      in,
+			res:     res,
+			dep:     dep,
+			handled: map[string]bool{},
+			dead:    placer.NodeSet{},
+			hwKey:   hardwareKey(vs.spec),
+		}
+		for i, c := range vs.chains {
+			st.slots = append(st.slots, slotState{Name: c.Name, FP: vs.fp[i]})
+			rr.Admitted = append(rr.Admitted, c.Name)
+		}
+		d.st = st
+		mutated = true
+	}
+
+	// Desired index: name -> position in vs. A running slot whose name is
+	// gone, or whose fingerprint differs (the chain was redefined), is
+	// retired; a redefined chain re-admits below into a fresh slot.
+	desiredAt := map[string]int{}
+	for i, c := range vs.chains {
+		desiredAt[c.Name] = i
+	}
+	var gone []int
+	for si, s := range d.st.slots {
+		if s.Retired {
+			continue
+		}
+		di, ok := desiredAt[s.Name]
+		if ok && vs.fp[di] == s.FP {
+			continue
+		}
+		gone = append(gone, si)
+	}
+	if len(gone) > 0 {
+		nextRes, err := placer.Retire(d.st.res, d.st.in, gone)
+		if err != nil {
+			return mutated, fmt.Errorf("retire: %w", err)
+		}
+		if _, err := d.st.dep.RetireChains(nextRes, gone); err != nil {
+			return mutated, fmt.Errorf("retire rewire: %w", err)
+		}
+		d.st.res = nextRes
+		for _, si := range gone {
+			d.st.slots[si].Retired = true
+			rr.Retired = append(rr.Retired, d.st.slots[si].Name)
+		}
+		mutated = true
+	}
+
+	// Admits: every desired chain without a live, fingerprint-matching slot
+	// joins as a contiguous tail of new slots, in desired-spec order.
+	activeFP := map[string]string{}
+	for _, s := range d.st.slots {
+		if !s.Retired {
+			activeFP[s.Name] = s.FP
+		}
+	}
+	var add []int
+	for i, c := range vs.chains {
+		if fp, ok := activeFP[c.Name]; !ok || fp != vs.fp[i] {
+			add = append(add, i)
+		}
+	}
+	admittedNow := false
+	if len(add) > 0 {
+		nOld := len(d.st.in.Chains)
+		grown := *d.st.in
+		grown.Chains = make([]*nfgraph.Graph, nOld, nOld+len(add))
+		copy(grown.Chains, d.st.in.Chains)
+		var newIdx []int
+		var names []string
+		for _, di := range add {
+			newIdx = append(newIdx, len(grown.Chains))
+			grown.Chains = append(grown.Chains, vs.graphs[di])
+			names = append(names, vs.chains[di].Name)
+		}
+		arep, err := placer.Admit(d.st.res, &grown, newIdx)
+		if err != nil {
+			return mutated, fmt.Errorf("admit %v: %w", names, err)
+		}
+		switch arep.Outcome {
+		case placer.AdmitIncremental:
+			if _, err := d.st.dep.AdmitChains(&grown, arep.Result, newIdx); err != nil {
+				return mutated, fmt.Errorf("admit rewire %v: %w", names, err)
+			}
+			d.st.in = &grown
+			d.st.res = arep.Result
+			for _, di := range add {
+				d.st.slots = append(d.st.slots, slotState{Name: vs.chains[di].Name, FP: vs.fp[di]})
+			}
+			rr.Admitted = append(rr.Admitted, names...)
+			rr.PinnedSubgroups += arep.PinnedSubgroups
+			admittedNow, mutated = true, true
+		case placer.AdmitRepack:
+			if !d.cfg.AllowRepack {
+				return mutated, fmt.Errorf("admitting %v needs a full repack (%s); repacks are disabled (-allow-repack)",
+					names, arep.IncrementalReason)
+			}
+			if len(d.st.dead) > 0 {
+				return mutated, fmt.Errorf("admitting %v needs a full repack but %d devices have failed; a repack would re-place onto dead hardware",
+					names, len(d.st.dead))
+			}
+			if err := d.applyRepackLocked(vs, arep, add, nOld, rr); err != nil {
+				return mutated, err
+			}
+			rr.Admitted = append(rr.Admitted, names...)
+			admittedNow, mutated = true, true
+		default:
+			return mutated, fmt.Errorf("admitting %v infeasible: %s", names, arep.IncrementalReason)
+		}
+	}
+
+	// Failures last: Replace sees the final chain set of the pass, so a
+	// chain admitted above that landed on a dead device is moved in the
+	// same pass. Skipped entirely when no new failures arrived and no
+	// admission could have touched dead hardware — Replace with an empty
+	// diff would still mint a fresh Result and break idempotence.
+	target := d.targetFailuresLocked()
+	var newFail []string
+	for _, n := range target {
+		if !d.st.handled[n] {
+			newFail = append(newFail, n)
+		}
+	}
+	if len(newFail) > 0 || (admittedNow && len(d.st.dead) > 0) {
+		failed := placer.NewNodeSet(target...)
+		prev := d.st.res
+		nextRes, err := placer.Replace(prev, d.st.in, failed)
+		if err != nil {
+			return mutated, fmt.Errorf("re-placement after failure of %v: %w", target, err)
+		}
+		dead := failed.Expand(d.st.in.Topo)
+		affected := placer.AffectedChains(d.st.in, prev, dead)
+		if _, err := d.st.dep.Rewire(nextRes, affected); err != nil {
+			return mutated, fmt.Errorf("failure rewire: %w", err)
+		}
+		d.st.res = nextRes
+		d.st.dead = dead
+		for _, n := range newFail {
+			d.st.handled[n] = true
+		}
+		rr.Replaced = newFail
+		mutated = true
+		if len(newFail) > 0 && !d.replaying {
+			d.appendSnapshotLocked(snapEntry{Kind: snapFailures, Nodes: newFail})
+		}
+	}
+
+	return mutated, nil
+}
+
+// applyRepackLocked applies a full-repack admission verdict: the whole
+// deployment is recompiled from the repack placement (every chain's
+// dataplane state moves) and the slot table is rebuilt from the repack's
+// chain mapping — retired slots are compacted away, so slot indices (and
+// SPI ranges) change. Only reachable with Config.AllowRepack and no failed
+// devices.
+func (d *Daemon) applyRepackLocked(vs *validSpec, arep *placer.AdmitReport, add []int, nOld int, rr *ReconcileResult) error {
+	dep, err := metacompiler.Compile(arep.RepackInput, arep.Repack)
+	if err != nil {
+		return fmt.Errorf("repack compile: %w", err)
+	}
+	newSlots := make([]slotState, len(arep.RepackChains))
+	for j, orig := range arep.RepackChains {
+		if orig < nOld {
+			newSlots[j] = slotState{Name: d.st.slots[orig].Name, FP: d.st.slots[orig].FP}
+		} else {
+			di := add[orig-nOld]
+			newSlots[j] = slotState{Name: vs.chains[di].Name, FP: vs.fp[di]}
+		}
+	}
+	d.st.in = arep.RepackInput
+	d.st.res = arep.Repack
+	d.st.dep = dep
+	d.st.slots = newSlots
+	rr.Repacked = true
+	return nil
+}

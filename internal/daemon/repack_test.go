@@ -1,0 +1,107 @@
+package daemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// dedupSpec renders a desired state of n single-Dedup chains on the default
+// one-server rack. Dedup's ~31k cycles/packet cost makes each chain soak
+// several cores toward its tmax, so admitting the chains one at a time
+// drains the 4-core reserve: chains 2 and 3 admit incrementally and chain 4
+// needs a full repack (shrinking the earlier chains' surplus replicas).
+func dedupSpec(t *testing.T, n int) []byte {
+	t.Helper()
+	var chains strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&chains, `
+chain d%d {
+  slo { tmin = 1Gbps  tmax = 10Gbps }
+  aggregate { src = 10.%d.0.0/16 }
+  ded0 = Dedup()
+}`, i, 100+i)
+	}
+	raw, err := json.Marshal(&Spec{Chains: chains.String(), Placement: PlacementSpec{HeadroomCores: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// growToRepackPressure admits Dedup chains one at a time until the reserve
+// is drained, returning with the daemon converged at 3 chains so the next
+// admission needs a repack.
+func growToRepackPressure(t *testing.T, d *Daemon) {
+	t.Helper()
+	for n := 1; n <= 3; n++ {
+		if _, err := d.SetSpec(dedupSpec(t, n), "test"); err != nil {
+			t.Fatal(err)
+		}
+		if rr := d.Tick(); !rr.Converged {
+			t.Fatalf("apply of %d chains: %+v", n, rr)
+		}
+	}
+}
+
+// TestRepackDisabledByDefault: an admission that would need a full repack
+// is a reconcile error (with backoff) unless the operator opted in.
+func TestRepackDisabledByDefault(t *testing.T) {
+	clk := NewFakeClock(time.Unix(1700000000, 0))
+	d, err := New(Config{Interval: 100 * time.Millisecond, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	growToRepackPressure(t, d)
+	if _, err := d.SetSpec(dedupSpec(t, 4), "test"); err != nil {
+		t.Fatal(err)
+	}
+	rr := d.Tick()
+	if rr.Converged || !strings.Contains(rr.Err, "repacks are disabled") {
+		t.Fatalf("want repack refusal, got %+v", rr)
+	}
+	if rr.BackoffUntil.IsZero() {
+		t.Fatal("repack refusal must arm backoff")
+	}
+	// The refusal leaves the applied deployment untouched.
+	if st := d.StatusSnapshot(); len(st.Chains) != 3 {
+		t.Fatalf("refused repack mutated the deployment: %d chains", len(st.Chains))
+	}
+}
+
+// TestRepackAppliesWhenAllowed: with AllowRepack the same admission
+// converges by re-solving the whole chain set — every chain keeps its slot
+// identity, the new chain gets a fresh slot, and the pass reports Repacked.
+func TestRepackAppliesWhenAllowed(t *testing.T) {
+	clk := NewFakeClock(time.Unix(1700000000, 0))
+	d, err := New(Config{Interval: 100 * time.Millisecond, Clock: clk, AllowRepack: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	growToRepackPressure(t, d)
+	if _, err := d.SetSpec(dedupSpec(t, 4), "test"); err != nil {
+		t.Fatal(err)
+	}
+	rr := d.Tick()
+	if !rr.Converged || !rr.Repacked {
+		t.Fatalf("want converged repack, got %+v", rr)
+	}
+	if len(rr.Admitted) != 1 || rr.Admitted[0] != "d3" {
+		t.Fatalf("repack admitted %v, want [d3]", rr.Admitted)
+	}
+	st := d.StatusSnapshot()
+	if len(st.Chains) != 4 {
+		t.Fatalf("want 4 chains after repack, got %d", len(st.Chains))
+	}
+	for _, c := range st.Chains {
+		if !c.SLOMet {
+			t.Fatalf("chain %s misses its SLO after repack", c.Name)
+		}
+	}
+	// The repacked deployment is steady state: the next tick is a no-op.
+	if rr := d.Tick(); !rr.Converged || rr.Repacked || len(rr.Admitted) != 0 {
+		t.Fatalf("post-repack tick not idempotent: %+v", rr)
+	}
+}

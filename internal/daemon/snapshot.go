@@ -1,0 +1,138 @@
+package daemon
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Snapshot kinds: an accepted desired-state document, or a set of failures
+// that was successfully applied (logged at apply time, in apply order).
+const (
+	snapSpec     = "spec"
+	snapFailures = "failures"
+)
+
+// snapEntry is one record of the apply log. The log is the daemon's
+// crash-safe state: every accepted spec and applied failure set appends an
+// entry, and a restarting daemon replays the entries through the very same
+// SetSpec/InjectFailures/reconcile code paths. Placement is deterministic
+// and failed solver attempts never mutate state, so replay reconstructs the
+// exact slot table, SPI layout, and placement the daemon had — restarts
+// resume instead of re-placing from scratch.
+//
+// Failures are logged only once applied; a failure injected but not yet
+// reconciled when the daemon dies is lost and must be re-injected
+// (documented in OPERATIONS.md).
+type snapEntry struct {
+	// Kind is snapSpec or snapFailures.
+	Kind string `json:"kind"`
+	// Spec is the accepted document's canonical JSON (Kind == snapSpec).
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// Nodes are the applied failure names (Kind == snapFailures).
+	Nodes []string `json:"nodes,omitempty"`
+}
+
+// appendSnapshotLocked appends one entry to the in-memory log and, when
+// SnapshotPath is configured, atomically rewrites the snapshot file
+// (temp file + rename, so a crash mid-write leaves the previous snapshot
+// intact). Write errors are returned to no one by design — the daemon keeps
+// serving; the error is surfaced via lastErr on the status endpoint.
+func (d *Daemon) appendSnapshotLocked(e snapEntry) {
+	d.snapLog = append(d.snapLog, e)
+	if d.cfg.SnapshotPath == "" {
+		return
+	}
+	if err := writeSnapshot(d.cfg.SnapshotPath, d.snapLog); err != nil {
+		d.lastErr = fmt.Sprintf("snapshot write: %v", err)
+	}
+}
+
+// writeSnapshot atomically persists the full log as JSON lines.
+func writeSnapshot(path string, log []snapEntry) error {
+	var buf []byte
+	for _, e := range log {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		buf = append(buf, b...)
+		buf = append(buf, '\n')
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".lemurd-snap-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// loadSnapshot replays an existing snapshot file at startup. A missing file
+// is a fresh start; a corrupt file is an error (operators decide whether to
+// delete it — silently ignoring it would re-place from scratch and move
+// every running chain). Each entry is re-applied through the normal code
+// paths with a reconcile pass after it, reproducing the live daemon's exact
+// mutation sequence; snapshot writes are suppressed while replaying.
+func (d *Daemon) loadSnapshot() error {
+	raw, err := os.ReadFile(d.cfg.SnapshotPath)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("daemon: snapshot: %w", err)
+	}
+	var entries []snapEntry
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	for dec.More() {
+		var e snapEntry
+		if err := dec.Decode(&e); err != nil {
+			return fmt.Errorf("daemon: snapshot %s entry %d: %w", d.cfg.SnapshotPath, len(entries), err)
+		}
+		entries = append(entries, e)
+	}
+	d.replaying = true
+	defer func() { d.replaying = false }()
+	for i, e := range entries {
+		switch e.Kind {
+		case snapSpec:
+			if _, err := d.SetSpec(e.Spec, fmt.Sprintf("snapshot entry %d", i)); err != nil {
+				return fmt.Errorf("daemon: snapshot replay entry %d: %w", i, err)
+			}
+		case snapFailures:
+			d.mu.Lock()
+			err := d.injectLocked(e.Nodes)
+			d.mu.Unlock()
+			if err != nil {
+				return fmt.Errorf("daemon: snapshot replay entry %d: %w", i, err)
+			}
+		default:
+			return fmt.Errorf("daemon: snapshot replay entry %d: unknown kind %q", i, e.Kind)
+		}
+		d.snapLog = append(d.snapLog, e)
+		// Reconcile after each entry so the replay reproduces the live
+		// daemon's exact mutation interleaving (slot/SPI layout depends on
+		// the order of admits across generations). A transient apply
+		// failure here is not fatal — specs are logged at accept time, so
+		// the log may contain a generation whose apply backed off before a
+		// later generation superseded it; the replayed attempt fails the
+		// same deterministic way the live one did.
+		d.mu.Lock()
+		d.reconcileLocked()
+		d.mu.Unlock()
+	}
+	return nil
+}

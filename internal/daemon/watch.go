@@ -1,0 +1,51 @@
+package daemon
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// pollWatch scans Config.WatchDir for *.json desired-state documents and
+// applies every file whose content changed since the last poll, in filename
+// order (so with several changed files the lexicographically last valid one
+// wins — name files 00-base.json, 10-add-chain.json, ... to order intents).
+//
+// The poll is content-hash based, not mtime based: it needs no filesystem
+// notification dependency, behaves identically under a FakeClock, and a
+// rejected document is remembered by hash so one bad file bumps the
+// rejected-spec counter once per content version, not once per tick.
+func (d *Daemon) pollWatch() {
+	if d.cfg.WatchDir == "" {
+		return
+	}
+	names, err := filepath.Glob(filepath.Join(d.cfg.WatchDir, "*.json"))
+	if err != nil {
+		return
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		raw, err := os.ReadFile(name)
+		if err != nil {
+			continue // unreadable this poll; retried next tick
+		}
+		sum := sha256.Sum256(raw)
+		h := hex.EncodeToString(sum[:])
+		d.mu.Lock()
+		seen := d.watchSeen[name] == h
+		if !seen {
+			d.watchSeen[name] = h
+		}
+		d.mu.Unlock()
+		if seen {
+			continue
+		}
+		// SetSpec counts and records the rejection; nothing else to do —
+		// the hash above is already remembered, so the bad version is not
+		// re-rejected every poll.
+		d.SetSpec(raw, fmt.Sprintf("file:%s", filepath.Base(name)))
+	}
+}

@@ -1,22 +1,24 @@
 #!/usr/bin/env bash
-# Docs gate: fail if README.md or ARCHITECTURE.md reference a CLI flag,
-# a package symbol, or a test name that no longer exists in the tree.
-# Grep-based on purpose — no build step, runs in ci.sh before the tests.
+# Docs gate: fail if README.md, ARCHITECTURE.md, or OPERATIONS.md reference
+# a CLI flag, a package symbol, or a test name that no longer exists in the
+# tree. Grep-based on purpose — no build step, runs in ci.sh before the
+# tests.
 set -u
 cd "$(dirname "$0")/.."
 
-docs="README.md ARCHITECTURE.md"
+docs="README.md ARCHITECTURE.md OPERATIONS.md"
 fail=0
 
 # --- CLI flags -------------------------------------------------------------
 # Every `-flag` token on a doc line invoking `cmd/<tool>`, and every
 # backticked `` `-flag` `` mention, must be defined via the flag package in
-# some cmd/ tool.
-all_defined=$(grep -hoE 'flag\.[A-Za-z]+\("[a-z0-9-]+"' cmd/*/*.go |
+# some cmd/ tool. Both the global flag.String style and the subcommand
+# fs.String-on-a-FlagSet style (cmd/lemurd) count as definitions.
+all_defined=$(grep -hoE '(flag|fs)\.[A-Za-z]+\("[a-z0-9-]+"' cmd/*/*.go |
 	sed -E 's/.*"([a-z0-9-]+)"/\1/' | sort -u)
 
-for tool in lemur lemur-bench lemur-profile; do
-	defined=$(grep -hoE 'flag\.[A-Za-z]+\("[a-z0-9-]+"' cmd/$tool/*.go |
+for tool in lemur lemur-bench lemur-profile lemurd; do
+	defined=$(grep -hoE '(flag|fs)\.[A-Za-z]+\("[a-z0-9-]+"' cmd/$tool/*.go |
 		sed -E 's/.*"([a-z0-9-]+)"/\1/' | sort -u)
 	# "cmd/$tool " (trailing space) keeps cmd/lemur from matching lemur-bench.
 	used=$(grep -hoE "cmd/$tool [^\`]*" $docs |
